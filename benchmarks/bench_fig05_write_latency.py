@@ -1,0 +1,48 @@
+"""Figure 5: CCDF of 100 B write latency, five systems.
+
+Paper numbers (medians): Original RAMCloud (f=3) 13.8 µs, CURP (f=3)
+7.3 µs, Unreplicated 6.9 µs; CURP f≤2 indistinguishable from
+unreplicated; CURP f=3 adds ~0.4 µs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig5_write_latency
+from repro.metrics import ccdf_points, format_table
+
+PAPER_MEDIANS = {
+    "Original RAMCloud (f=3)": 13.8,
+    "CURP (f=3)": 7.3,
+    "Unreplicated": 6.9,
+}
+
+
+def test_fig5_write_latency(benchmark, scale):
+    n_ops = int(600 * scale)
+    results = run_once(benchmark, lambda: fig5_write_latency(n_ops=n_ops))
+    rows = []
+    for label, recorder in results.items():
+        rows.append([label, recorder.median, recorder.percentile(90),
+                     recorder.p99, recorder.percentile(99.9),
+                     PAPER_MEDIANS.get(label, "-")])
+    print()
+    print(format_table(
+        ["system", "median(us)", "p90", "p99", "p99.9", "paper median"],
+        rows, title="Figure 5 — write latency distribution"))
+    print("\nCCDF sample points (latency_us, fraction >= x):")
+    for label in ("Original RAMCloud (f=3)", "CURP (f=3)", "Unreplicated"):
+        points = ccdf_points(results[label].samples, points=8)
+        rendered = ", ".join(f"({x:.1f}, {y:.3f})" for x, y in points)
+        print(f"  {label}: {rendered}")
+
+    curp = results["CURP (f=3)"].median
+    original = results["Original RAMCloud (f=3)"].median
+    unreplicated = results["Unreplicated"].median
+    # Shape assertions from the paper's headline claims.
+    assert 1.6 < original / curp < 2.4, "CURP should ~halve write latency"
+    assert curp - unreplicated < 1.0, "CURP f=3 overhead should be sub-us"
+    assert results["CURP (f=1)"].median - unreplicated < 0.5
+    benchmark.extra_info["curp_f3_median_us"] = curp
+    benchmark.extra_info["original_median_us"] = original
+    benchmark.extra_info["unreplicated_median_us"] = unreplicated

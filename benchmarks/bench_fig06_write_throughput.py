@@ -1,0 +1,39 @@
+"""Figure 6: single-server write throughput vs client count.
+
+Paper shape: CURP ≈ 4× Original RAMCloud; Async within ~10 % of CURP;
+each CURP replica costs ~6 %; Unreplicated on top (~900 k writes/s).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig6_write_throughput
+from repro.metrics import format_table
+
+
+def test_fig6_write_throughput(benchmark, scale):
+    client_counts = (1, 4, 16) if scale <= 1 else (1, 2, 4, 8, 16, 24, 30)
+    duration = 2_500.0 * min(scale, 4)
+    series = run_once(benchmark, lambda: fig6_write_throughput(
+        client_counts=client_counts, duration=duration))
+    headers = ["system"] + [f"{n} clients" for n in client_counts]
+    rows = [[label] + [tput for _n, tput in points]
+            for label, points in series.items()]
+    print()
+    print(format_table(headers, rows,
+                       title="Figure 6 — write throughput (ops/s)"))
+
+    peak = {label: max(tput for _n, tput in points)
+            for label, points in series.items()}
+    curp3 = peak["CURP (f=3)"]
+    original = peak["Original RAMCloud (f=3)"]
+    # Headline: ~4x throughput improvement (paper: 3.8-4x).
+    assert curp3 / original > 3.0, f"CURP {curp3:.0f} vs original {original:.0f}"
+    # Unreplicated is the ceiling; async >= CURP (no witness gc traffic).
+    assert peak["Unreplicated"] >= curp3
+    assert peak["Async (f=3)"] >= curp3 * 0.99
+    # More replicas cost throughput.
+    assert peak["CURP (f=1)"] >= peak["CURP (f=3)"]
+    benchmark.extra_info["curp_f3_peak"] = curp3
+    benchmark.extra_info["original_peak"] = original
+    benchmark.extra_info["speedup"] = curp3 / original

@@ -1,0 +1,40 @@
+"""Figure 9: Redis SET throughput vs client count.
+
+Paper shape: CURP costs ~18 % of non-durable throughput; with many
+clients, durable Redis *approaches* non-durable because its event loop
+batches one fsync across all queued clients (§C.2) — at the price of
+latency (Figure 13).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.redis_experiments import fig9_set_throughput
+from repro.metrics import format_table
+
+
+def test_fig9_redis_set_throughput(benchmark, scale):
+    client_counts = (1, 8, 32) if scale <= 1 else (1, 2, 4, 8, 16, 32, 60)
+    duration = 12_000.0 * min(scale, 4)
+    series = run_once(benchmark, lambda: fig9_set_throughput(
+        client_counts=client_counts, duration=duration))
+    headers = ["system"] + [f"{n} clients" for n in client_counts]
+    rows = [[label] + [tput for _n, tput in points]
+            for label, points in series.items()]
+    print()
+    print(format_table(headers, rows,
+                       title="Figure 9 — Redis SET throughput (ops/s)"))
+
+    max_clients = max(client_counts)
+    at_max = {label: dict(points)[max_clients]
+              for label, points in series.items()}
+    nondurable = at_max["Original Redis (non-durable)"]
+    curp = at_max["CURP (1 witness)"]
+    durable = at_max["Original Redis (durable)"]
+    # CURP within ~30% of non-durable (paper: ~18%).
+    assert curp > nondurable * 0.6
+    # Event-loop fsync batching: durable climbs toward non-durable.
+    one_client_durable = dict(series["Original Redis (durable)"])[1]
+    assert durable > one_client_durable * 3
+    benchmark.extra_info["curp_fraction_of_nondurable"] = curp / nondurable
+    benchmark.extra_info["durable_at_max"] = durable

@@ -1,0 +1,34 @@
+"""Figure 10: median latency of SET / HMSET / INCR, 0-2 witnesses.
+
+Paper shape: all three command types take the fast path (per-key
+commutativity covers every Redis data structure, §5.5); 1-witness
+overhead is small; 2 witnesses add ~10 µs from TCP tail latency.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.redis_experiments import fig10_command_latency
+from repro.metrics import format_table
+
+
+def test_fig10_redis_commands(benchmark, scale):
+    n_ops = int(400 * scale)
+    results = run_once(benchmark,
+                       lambda: fig10_command_latency(n_ops=n_ops))
+    commands = ("SET", "HMSET", "INCR")
+    rows = [[label] + [medians[c] for c in commands]
+            for label, medians in results.items()]
+    print()
+    print(format_table(["system"] + list(commands), rows,
+                       title="Figure 10 — median latency by command (us)"))
+
+    base = results["Original Redis (non-durable)"]
+    one = results["CURP (1 witness)"]
+    two = results["CURP (2 witnesses)"]
+    for command in commands:
+        # Small overhead with 1 witness, larger with 2 — for every
+        # command type.
+        assert one[command] - base[command] < 10.0
+        assert two[command] >= one[command] - 1.0
+    benchmark.extra_info["set_overhead_1w"] = one["SET"] - base["SET"]

@@ -1,0 +1,40 @@
+"""Figure 11 (§B.1): records until a witness-slot collision vs total
+slots, for direct-mapped / 2-way / 4-way / 8-way caches.
+
+Paper numbers: direct-mapped at 4096 slots collides after ~80 records;
+4-way associativity pushes that to ~1300, close to 8-way — which is why
+the implementation settled on 4-way.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig11_witness_collisions
+from repro.metrics import format_table
+
+
+def test_fig11_witness_collisions(benchmark, scale):
+    trials = int(300 * scale)  # paper: 10000; scale up for fidelity
+    slot_counts = (512, 1024, 2048, 3072, 4096, 4608)
+    series = run_once(benchmark, lambda: fig11_witness_collisions(
+        slot_counts=slot_counts, trials=trials))
+    headers = ["slots"] + [f"{a}-way" for a in sorted(series)]
+    rows = []
+    for index, slots in enumerate(slot_counts):
+        rows.append([slots] + [series[a][index][1] for a in sorted(series)])
+    print()
+    print(format_table(headers, rows,
+                       title="Figure 11 — records before collision"))
+
+    at_4096 = {a: dict(points)[4096] for a, points in series.items()}
+    # Paper: ~80 for direct mapping at 4096 slots; associativity helps
+    # dramatically.  (Exact ball-in-bin math puts 8-way ~1.9x above
+    # 4-way at equal slot count — the paper's plotted curves sit closer
+    # together; see EXPERIMENTS.md.  The design conclusion — 4-way
+    # suffices because commutativity+gc bound occupancy — is unchanged.)
+    assert 50 < at_4096[1] < 120
+    assert at_4096[2] > at_4096[1] * 3
+    assert at_4096[4] > at_4096[2] * 1.5
+    assert at_4096[4] < at_4096[8] < at_4096[4] * 2.2
+    benchmark.extra_info["direct_at_4096"] = at_4096[1]
+    benchmark.extra_info["fourway_at_4096"] = at_4096[4]

@@ -1,0 +1,35 @@
+"""Figure 12 (§C.1): throughput vs minimum sync batch size.
+
+Paper shape: CURP throughput rises steeply with the first few batched
+writes and saturates well before 50 (natural batching gives ~15 writes
+per sync even at min batch 1); Original RAMCloud is flat (it cannot
+batch); larger batches only marginally help.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig12_batch_size
+from repro.metrics import format_table
+
+
+def test_fig12_batch_size(benchmark, scale):
+    batch_sizes = (1, 10, 50) if scale <= 1 else (1, 5, 10, 20, 35, 50)
+    duration = 2_500.0 * min(scale, 4)
+    series = run_once(benchmark, lambda: fig12_batch_size(
+        batch_sizes=batch_sizes, duration=duration))
+    headers = ["system"] + [f"batch {b}" for b in batch_sizes]
+    rows = [[label] + [tput for _b, tput in points]
+            for label, points in series.items()]
+    print()
+    print(format_table(headers, rows,
+                       title="Figure 12 — throughput vs min sync batch (ops/s)"))
+
+    curp = dict(series["CURP (f=3)"])
+    original = dict(series["Original RAMCloud (f=3)"])
+    # Even at min batch 1, natural batching keeps CURP well above the
+    # original; batch 50 adds more.
+    assert curp[1] > max(original.values()) * 1.5
+    assert curp[max(batch_sizes)] >= curp[1] * 0.95
+    benchmark.extra_info["curp_batch1"] = curp[1]
+    benchmark.extra_info["curp_batch_max"] = curp[max(batch_sizes)]

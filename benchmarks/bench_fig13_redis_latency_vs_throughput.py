@@ -1,0 +1,42 @@
+"""Figure 13 (§C.2): average Redis SET latency vs achieved throughput.
+
+Paper shape: CURP and non-durable Redis hold low, flat latency until
+~80 % of their max throughput; durable Redis's latency grows almost
+linearly with load — the cost of event-loop fsync batching.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.harness.redis_experiments import fig13_latency_vs_throughput
+from repro.metrics import format_table
+
+
+def test_fig13_latency_vs_throughput(benchmark, scale):
+    client_counts = (1, 4, 16, 48) if scale <= 1 else (1, 2, 4, 8, 16, 32,
+                                                       48, 64)
+    duration = 10_000.0 * min(scale, 4)
+    series = run_once(benchmark, lambda: fig13_latency_vs_throughput(
+        client_counts=client_counts, duration=duration))
+    rows = []
+    for label, points in series.items():
+        for tput, latency in points:
+            rows.append([label, tput, latency])
+    print()
+    print(format_table(["system", "throughput (ops/s)", "avg latency (us)"],
+                       rows, title="Figure 13 — latency vs throughput"))
+
+    curp = series["CURP (1 witness)"]
+    durable = series["Original Redis (durable)"]
+    # At low load, durable latency is many times CURP's.
+    assert durable[0][1] > curp[0][1] * 2.5
+    # Durable latency grows strongly with load...
+    durable_growth = durable[-1][1] / durable[0][1]
+    assert durable_growth > 2.0
+    # ...while CURP stays flat until ~80 % of its max throughput: check
+    # the highest point still below 70 % of peak.
+    peak = max(tput for tput, _ in curp)
+    below_knee = [lat for tput, lat in curp if tput < 0.7 * peak]
+    assert below_knee, "need at least one sub-knee load point"
+    assert max(below_knee) < curp[0][1] * 1.5
+    benchmark.extra_info["durable_growth"] = durable_growth

@@ -1,0 +1,70 @@
+"""§5.2: resource consumption by witness servers.
+
+Paper numbers: a witness server handles 1270k records/s on one core;
+memory is ~9 MB per master-witness pair (4096 × 2 KB slots); CURP
+increases network traffic by ~75 % for 3-way replication (each request
+additionally goes to 3 witnesses).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.core.witness_cache import WitnessCache
+from repro.harness.experiments import sec52_network_amplification
+from repro.metrics import format_table
+from repro.rifl import RpcId
+
+
+def test_witness_record_rate(benchmark):
+    """Wall-clock micro-benchmark of the witness data structure: the
+    record operation the paper sizes at ~0.8 µs of server CPU."""
+    rng = random.Random(0)
+    cache = WitnessCache(slots=4096, associativity=4)
+    hashes = [rng.getrandbits(64) for _ in range(4096)]
+    state = {"i": 0}
+
+    def record_and_gc():
+        i = state["i"]
+        key_hash = hashes[i % len(hashes)]
+        rpc_id = RpcId(1, i)
+        cache.record([key_hash], rpc_id, "request")
+        if i % 50 == 49:  # gc every 50 records, as masters do
+            cache.gc([(hashes[j % len(hashes)], RpcId(1, j))
+                      for j in range(i - 49, i + 1)])
+        state["i"] = i + 1
+    benchmark(record_and_gc)
+
+
+def test_witness_memory_footprint(benchmark):
+    cache = run_once(benchmark,
+                     lambda: WitnessCache(slots=4096, associativity=4))
+    memory_mb = cache.memory_bytes(slot_size=2048) / 1e6
+    print(f"\n§5.2 — witness memory per master-witness pair: "
+          f"{memory_mb:.1f} MB (paper: ~9 MB)")
+    assert 8.0 < memory_mb < 10.0
+
+
+def test_network_amplification(benchmark, scale):
+    n_ops = int(250 * scale)
+    result = run_once(benchmark,
+                      lambda: sec52_network_amplification(n_ops=n_ops))
+    print()
+    print(format_table(
+        ["system", "payload copies/request", "wire bytes/request"],
+        [["original (f=3)", result["original_copies"],
+          result["original_bytes"]],
+         ["curp (f=3)", result["curp_copies"], result["curp_bytes"]],
+         ["amplification",
+          f"+{result['amplification_copies'] * 100:.0f}%",
+          f"+{result['amplification_bytes'] * 100:.0f}%"]],
+        title="§5.2 — network traffic amplification (paper: +75% in "
+              "payload copies)"))
+    # The paper's accounting: 7 copies vs 4 = +75%.
+    assert 0.6 < result["amplification_copies"] < 0.9
+    # Wire bytes amplify less: batching amortizes per-RPC framing.
+    assert 0.1 < result["amplification_bytes"] \
+        < result["amplification_copies"]
+    benchmark.extra_info["amplification_copies"] = \
+        result["amplification_copies"]

@@ -1,0 +1,26 @@
+"""Benchmark scaling knobs.
+
+Every per-figure benchmark runs at CI scale by default (tens of
+seconds for the whole directory).  Set ``REPRO_BENCH_SCALE`` to scale
+the op counts / durations up for paper-fidelity runs:
+
+    REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def run_once(benchmark, fn):
+    """Run a simulation experiment exactly once under pytest-benchmark
+    (the virtual-time results are deterministic; wall-clock timing of
+    one round is all the timing that makes sense)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

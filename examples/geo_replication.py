@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Geo-replication with CURP (§1, §A.1).
+
+A master in ``us-east`` with a backup+witness pair in ``eu-west``.
+Cross-region one-way latency: 40 ms.  CURP gives:
+
+- **1 wide-area RTT updates** (the witness record crosses the ocean in
+  parallel with the update RPC), vs 2 RTTs for synchronous
+  primary-backup; and
+- **0 wide-area RTT reads** for European readers: read the local
+  backup, check freshness against the local witness (§A.1's
+  commutativity probe) — no transatlantic hop unless there is an
+  actual in-flight conflicting update.
+
+Run:  python examples/geo_replication.py
+"""
+
+from repro.baselines import curp_config
+from repro.core.client import CurpClient
+from repro.harness import build_cluster, TEST_PROFILE
+from repro.kvstore import Write
+from repro.sim.distributions import Fixed
+
+MS = 1000.0  # one microsecond is the base unit
+
+
+def main() -> None:
+    # f=1: one backup and one witness, both placed in eu-west.
+    cluster = build_cluster(curp_config(f=1, min_sync_batch=1,
+                                        idle_sync_delay=2 * MS,
+                                        rpc_timeout=500 * MS),
+                            profile=TEST_PROFILE, seed=3)
+    network = cluster.network
+    backup = cluster.backup_hosts["m0"][0]
+    witness = cluster.witness_hosts["m0"][0]
+
+    # Topology: client_eu, backup, witness in Europe (0.2 ms apart);
+    # master + writer client in us-east; 40 ms across the ocean.
+    local, wan = Fixed(200.0), Fixed(40 * MS)
+    for a in ("m0-host", "coordinator"):
+        for b in (backup, witness):
+            network.set_link_latency(a, b, wan)
+    network.set_link_latency(backup, witness, local)
+
+    writer = cluster.new_client()  # us-east, near the master
+
+    reader_host = network.add_host("client-eu")
+    for peer in ("m0-host", "coordinator", writer.host.name):
+        network.set_link_latency("client-eu", peer, wan)
+    network.set_link_latency("client-eu", backup, local)
+    network.set_link_latency("client-eu", witness, local)
+    reader = CurpClient(reader_host, cluster.config,
+                        coordinator=cluster.coordinator.host.name)
+    cluster.run(reader.connect())
+
+    # --- writes from the EU writer: 1 wide-area RTT ---------------------
+    eu_writer_host = network.add_host("writer-eu")
+    for peer in ("m0-host", "coordinator"):
+        network.set_link_latency("writer-eu", peer, wan)
+    network.set_link_latency("writer-eu", backup, local)
+    network.set_link_latency("writer-eu", witness, local)
+    eu_writer = CurpClient(eu_writer_host, cluster.config,
+                           coordinator=cluster.coordinator.host.name)
+    cluster.run(eu_writer.connect())
+
+    outcome = cluster.run(eu_writer.update(Write("eu-user", "profile-v1")))
+    print(f"EU->US write: {outcome.latency / MS:.1f} ms "
+          f"(fast_path={outcome.fast_path})")
+    print("  = 1 wide-area RTT: the EU witness recorded locally while the "
+          "update crossed the ocean.\n  Synchronous primary-backup would "
+          "pay 2 RTTs (~160 ms).")
+
+    # --- EU reads: 0 wide-area RTTs -------------------------------------
+    cluster.settle(200 * MS)  # let the backup sync catch up
+    started = cluster.sim.now
+    value = cluster.run(reader.read_nearby("eu-user", backup, witness))
+    local_read_ms = (cluster.sim.now - started) / MS
+    print(f"\nEU local read: {value!r} in {local_read_ms:.2f} ms "
+          "(backup + witness probe, no transatlantic hop)")
+
+    started = cluster.sim.now
+    value = cluster.run(reader.read("eu-user"))
+    master_read_ms = (cluster.sim.now - started) / MS
+    print(f"EU read via master: {value!r} in {master_read_ms:.1f} ms")
+    print(f"\nlocal consistent reads are {master_read_ms / local_read_ms:.0f}x "
+          "faster — and §A.1 guarantees they are never stale: an unsynced "
+          "update\nwould be sitting in the local witness, which the probe "
+          "detects, falling back to the master.")
+
+    # Show the fallback: write again, probe during the unsynced window.
+    cluster.config.min_sync_batch = 1000  # keep it unsynced for a while
+    cluster.master().config.min_sync_batch = 1000
+    outcome = cluster.run(eu_writer.update(Write("eu-user", "profile-v2")))
+    started = cluster.sim.now
+    value = cluster.run(reader.read_nearby("eu-user", backup, witness))
+    fallback_ms = (cluster.sim.now - started) / MS
+    print(f"\nread during an in-flight update: {value!r} in "
+          f"{fallback_ms:.1f} ms (witness said CONFLICT -> master read; "
+          "correctness preserved)")
+    assert value == "profile-v2"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: a CURP cluster in ~60 lines.
+
+Builds a 3-way-replicated CURP cluster (1 master, 3 backups, 3
+witnesses), shows the 1-RTT fast path, a conflict, a master crash with
+unsynced speculative writes, recovery, and that nothing acknowledged
+was lost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import curp_config
+from repro.harness import RAMCLOUD_PROFILE, build_cluster
+from repro.kvstore import Increment, Write
+
+
+def main() -> None:
+    cluster = build_cluster(curp_config(f=3), profile=RAMCLOUD_PROFILE,
+                            seed=42)
+    client = cluster.new_client()
+    print(f"cluster up: master={cluster.master().master_id}, "
+          f"backups={cluster.backup_hosts['m0']}, "
+          f"witnesses={cluster.witness_hosts['m0']}")
+
+    # --- 1-RTT updates ------------------------------------------------
+    outcome = cluster.run(client.update(Write("alice", 100)))
+    print(f"\nwrite alice=100: {outcome.latency:.1f} us "
+          f"(fast_path={outcome.fast_path})  <- 1 RTT, replication hidden")
+    outcome = cluster.run(client.update(Write("bob", 250)))
+    print(f"write bob=250:   {outcome.latency:.1f} us "
+          f"(fast_path={outcome.fast_path})  <- different key: commutes")
+
+    # --- a conflict ----------------------------------------------------
+    outcome = cluster.run(client.update(Increment("alice", 5)))
+    print(f"incr alice:      {outcome.latency:.1f} us "
+          f"(synced_by_master={outcome.synced_by_master})  "
+          "<- conflicts with the unsynced write: master synced first")
+
+    # --- crash with unsynced speculative writes ------------------------
+    for i in range(5):
+        cluster.run(client.update(Write(f"key{i}", i)))
+    master = cluster.master()
+    print(f"\nunsynced speculative operations at master: "
+          f"{master.unsynced_count}")
+    print("crashing the master NOW (before any backup sync)...")
+    master.host.crash()
+
+    standby = cluster.add_host("standby", role="master")
+    stats = cluster.run(cluster.sim.process(
+        cluster.coordinator.recover_master("m0", standby)))
+    print(f"recovered on {standby.name}: restored "
+          f"{stats['restored_entries']} entries from a backup, replayed "
+          f"{stats['replayed']} witnessed requests")
+
+    # --- nothing lost ---------------------------------------------------
+    print("\nreads after recovery (client retries transparently):")
+    for key in ("alice", "bob", "key0", "key4"):
+        value = cluster.run(client.read(key))
+        print(f"  {key} = {value}")
+    assert cluster.run(client.read("alice")) == 105
+    print("\nall acknowledged updates survived the crash. "
+          "That is CURP: 1-RTT updates, zero lost writes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Turning a Redis cache into a durable store without losing its speed
+(the paper's §5.4 experiment).
+
+Three servers:  stock non-durable Redis, fsync-always durable Redis,
+and CURP-Redis (witnesses + background fsync).  The demo measures SET
+latency on each, then crashes each server and shows which acknowledged
+writes survive.
+
+Run:  python examples/redis_durability.py
+"""
+
+from repro.harness.redis import build_redis_cluster
+from repro.harness.profiles import REDIS_PROFILE
+from repro.metrics import LatencyRecorder, format_table
+from repro.redislike.server import DurabilityMode
+
+
+def measure(mode: DurabilityMode, n_witnesses: int, n_ops: int = 300):
+    cluster = build_redis_cluster(mode, n_witnesses=n_witnesses,
+                                  profile=REDIS_PROFILE, seed=11)
+    client = cluster.new_client(collect_outcomes=False)
+    recorder = LatencyRecorder()
+
+    def script():
+        rng = cluster.sim.rng
+        for i in range(n_ops):
+            key = f"user{rng.randrange(100_000)}"
+            started = cluster.sim.now
+            yield from client.set(key, "x" * 100)
+            recorder.record(cluster.sim.now - started)
+    cluster.run(cluster.sim.process(script()), timeout=1e9)
+    return cluster, client, recorder
+
+
+def crash_test(cluster, client) -> tuple[int, int]:
+    """Write 10 acknowledged keys, crash, recover, count survivors."""
+    acked = []
+
+    def script():
+        for i in range(10):
+            yield from client.set(f"precious{i}", f"v{i}")
+            acked.append(f"precious{i}")
+    cluster.run(cluster.sim.process(script()), timeout=1e9)
+    cluster.server.host.crash()
+    cluster.server.host.restart()
+    cluster.run(cluster.sim.process(cluster.server.recover()), timeout=1e9)
+    survived = sum(1 for key in acked
+                   if cluster.server.store.get_string(key) is not None)
+    return len(acked), survived
+
+
+def main() -> None:
+    configs = [
+        ("Original Redis (non-durable)", DurabilityMode.NONDURABLE, 0),
+        ("Original Redis (durable)", DurabilityMode.DURABLE, 0),
+        ("CURP (1 witness)", DurabilityMode.CURP, 1),
+        ("CURP (2 witnesses)", DurabilityMode.CURP, 2),
+    ]
+    rows = []
+    for label, mode, witnesses in configs:
+        cluster, client, recorder = measure(mode, witnesses)
+        acked, survived = crash_test(cluster, client)
+        rows.append([label, recorder.median, recorder.percentile(90),
+                     f"{survived}/{acked}"])
+    print(format_table(
+        ["system", "SET median (us)", "p90", "acked writes surviving crash"],
+        rows, title="Redis durability vs latency (100 B SET)"))
+    print("\nCURP delivers the durable column at (nearly) the non-durable "
+          "row's\nlatency: fsyncs happen in the background, witnesses cover "
+          "the gap.")
+
+
+if __name__ == "__main__":
+    main()

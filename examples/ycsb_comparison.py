@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""YCSB-A under four replication protocols (the paper's §5.1/§5.3).
+
+Runs the skewed 50/50 read-write mix against Original primary-backup,
+CURP, Async and Unreplicated masters on the calibrated RAMCloud
+profile, printing write-latency distributions and throughput — the
+motivating workload from the paper's introduction.
+
+Run:  python examples/ycsb_comparison.py
+"""
+
+from repro.baselines import (
+    async_replication_config,
+    curp_config,
+    primary_backup_config,
+    unreplicated_config,
+)
+from repro.harness import RAMCLOUD_PROFILE, build_cluster
+from repro.metrics import LatencyRecorder, format_table
+from repro.workload import run_closed_loop
+from repro.workload.ycsb import YCSB_A, scaled
+
+
+def main() -> None:
+    workload = scaled(YCSB_A, 50_000)
+    systems = {
+        "Original (f=3)": primary_backup_config(3),
+        "CURP (f=3)": curp_config(3),
+        "Async (f=3)": async_replication_config(3),
+        "Unreplicated": unreplicated_config(),
+    }
+    rows = []
+    for label, config in systems.items():
+        cluster = build_cluster(config, profile=RAMCLOUD_PROFILE, seed=7)
+        result = run_closed_loop(cluster, workload, n_clients=8,
+                                 duration=4_000.0, warmup=1_000.0)
+        writes: LatencyRecorder = result["write_latency"]
+        reads: LatencyRecorder = result["read_latency"]
+        rows.append([label, result["throughput"],
+                     writes.median if writes.count else 0.0,
+                     writes.p99 if writes.count else 0.0,
+                     reads.median if reads.count else 0.0])
+    print(format_table(
+        ["system", "throughput (ops/s)", "write median (us)",
+         "write p99", "read median"],
+        rows, title="YCSB-A (Zipfian θ=0.99, 50/50 read-write, 8 clients)"))
+    print("\nNote how CURP's write latency tracks Unreplicated while the "
+          "Original\nprimary-backup pays a full extra round trip — and how "
+          "conflicts on hot\nZipfian keys surface as p99, not median.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+A setup.py is kept (alongside pyproject.toml metadata) so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package: pip falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CURP: Exploiting Commutativity For Practical Fast Replication "
+        "(NSDI'19) — full reproduction"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,35 @@
+"""CURP — Exploiting Commutativity For Practical Fast Replication.
+
+A complete Python reproduction of Park & Ousterhout (NSDI 2019): the
+Consistent Unordered Replication Protocol and every substrate its
+evaluation depends on, running on a deterministic discrete-event
+simulation.
+
+Typical entry points:
+
+>>> from repro.baselines import curp_config
+>>> from repro.harness import RAMCLOUD_PROFILE, build_cluster
+>>> from repro.kvstore import Write
+>>> cluster = build_cluster(curp_config(f=3), profile=RAMCLOUD_PROFILE)
+>>> client = cluster.new_client()
+>>> outcome = cluster.run(client.update(Write("key", "value")))
+>>> outcome.fast_path          # completed in 1 RTT via witnesses
+True
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the protocol: witnesses, speculative masters,
+  1-RTT clients, recovery, reconfiguration, §A.3 transactions.
+- :mod:`repro.kvstore`, :mod:`repro.redislike` — the two storage
+  systems of the paper's evaluation.
+- :mod:`repro.consensus` — Raft + the §A.2 consensus extension.
+- :mod:`repro.baselines`, :mod:`repro.cluster`, :mod:`repro.rifl` —
+  comparison systems, the coordinator, exactly-once RPCs.
+- :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.rpc` — the simulated
+  infrastructure.
+- :mod:`repro.verify` — the linearizability checker.
+- :mod:`repro.harness`, :mod:`repro.workload`, :mod:`repro.metrics` —
+  experiment drivers for every figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""The paper's comparison systems (Figures 5, 6, 7, 12).
+
+All three baselines share the CURP master/client implementation — a
+:class:`~repro.core.config.ReplicationMode` switch — so that latency
+and throughput deltas against CURP isolate the protocol, exactly like
+the paper's methodology of implementing CURP inside RAMCloud itself.
+
+- ``unreplicated_config()`` — "Unreplicated": no backups, no witnesses;
+  the 1-RTT, zero-durability upper bound.
+- ``primary_backup_config(f)`` — "Original RAMCloud": ordering and
+  durability entangled; masters sync to all f backups *before*
+  replying (2 RTTs), holding a worker through the round trip (§4.4's
+  polling waste).
+- ``async_replication_config(f)`` — "Async": masters reply before
+  syncing and clients complete immediately, with **no witnesses**;
+  fast but unsafe (acknowledged updates can vanish in a crash).  The
+  paper uses it to isolate CURP's witness overhead (§5.1).
+"""
+
+from repro.baselines.configs import (
+    async_replication_config,
+    curp_config,
+    primary_backup_config,
+    unreplicated_config,
+)
+
+__all__ = [
+    "async_replication_config",
+    "curp_config",
+    "primary_backup_config",
+    "unreplicated_config",
+]

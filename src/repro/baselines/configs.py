@@ -1,0 +1,35 @@
+"""Config factories for the evaluation's four systems."""
+
+from __future__ import annotations
+
+from repro.core.config import CurpConfig, ReplicationMode
+
+
+def unreplicated_config(**overrides) -> CurpConfig:
+    """RAMCloud with replication disabled (Figures 5/6 'Unreplicated')."""
+    overrides.setdefault("f", 0)
+    overrides["mode"] = ReplicationMode.UNREPLICATED
+    return CurpConfig(**overrides)
+
+
+def primary_backup_config(f: int = 3, **overrides) -> CurpConfig:
+    """Traditional synchronous primary-backup ('Original RAMCloud')."""
+    overrides["f"] = f
+    overrides["mode"] = ReplicationMode.SYNC
+    return CurpConfig(**overrides)
+
+
+def async_replication_config(f: int = 3, **overrides) -> CurpConfig:
+    """Asynchronous replication without witnesses (Figure 6 'Async')."""
+    overrides["f"] = f
+    overrides["mode"] = ReplicationMode.ASYNC
+    overrides.setdefault("min_sync_batch", 50)
+    return CurpConfig(**overrides)
+
+
+def curp_config(f: int = 3, **overrides) -> CurpConfig:
+    """CURP with f backups and f witnesses (the paper's system)."""
+    overrides["f"] = f
+    overrides["mode"] = ReplicationMode.CURP
+    overrides.setdefault("min_sync_batch", 50)
+    return CurpConfig(**overrides)

@@ -1,0 +1,22 @@
+"""Cluster coordination substrate.
+
+Large-scale systems in the paper's mold (§2) pair many master-backup
+data servers with one consensus-replicated configuration manager.  This
+package is that manager:
+
+- :class:`~repro.cluster.coordinator.Coordinator` — owns the tablet
+  map, master/backup/witness assignments, witness list versions,
+  master epochs (zombie fencing), client leases; orchestrates master
+  recovery (§3.3), witness replacement (§3.6) and data migration.
+- :class:`~repro.cluster.failure_detector.FailureDetector` — optional
+  ping-based crash detection that triggers recovery automatically.
+
+The coordinator itself runs on a single host here; the paper assumes it
+is made fault tolerant with a consensus protocol (see
+``repro.consensus`` for the Raft substrate that would host it).
+"""
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.failure_detector import FailureDetector
+
+__all__ = ["Coordinator", "FailureDetector"]

@@ -1,0 +1,351 @@
+"""The cluster configuration manager.
+
+Owns everything the paper assigns to the "system configuration
+manager" (§3.6): the tablet map, each master's backup and witness
+lists, the monotonically increasing *WitnessListVersion* per master,
+master epochs for zombie fencing (§4.7), and client leases (RIFL).
+
+It both *builds* clusters (test/benchmark setup helpers that construct
+master/backup/witness servers on hosts) and *operates* them at runtime
+(crash recovery, witness replacement, backup replacement, migration) —
+the runtime paths go through real RPCs so they exercise the same code a
+wire implementation would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.config import CurpConfig
+from repro.core.master import CurpMaster, FULL_RANGE
+from repro.core.messages import ClusterView, MasterInfo, StartArgs
+from repro.core.recovery import RecoveryFailed, build_recovery_master, recover
+from repro.core.witness import WitnessServer
+from repro.kvstore.backup import BackupServer
+from repro.rifl import LeaseServer
+from repro.rpc import RpcError, RpcTransport
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.net.network import Network
+
+
+@dataclasses.dataclass
+class ManagedMaster:
+    """The coordinator's mutable record of one master."""
+
+    master_id: str
+    host: str
+    backups: list[str]
+    witnesses: list[str]
+    witness_list_version: int
+    epoch: int
+    owned_ranges: list[tuple[int, int]]
+    #: direct reference for test inspection (None after its host died)
+    master: CurpMaster | None = None
+    recovering: bool = False
+
+
+class Coordinator:
+    """Configuration manager for a CURP cluster."""
+
+    def __init__(self, host: "Host", network: "Network", config: CurpConfig,
+                 lease_duration: float = 10_000_000.0):
+        self.host = host
+        self.sim = host.sim
+        self.network = network
+        self.config = config
+        self.lease_server = LeaseServer(host.sim, lease_duration=lease_duration)
+        self.masters: dict[str, ManagedMaster] = {}
+        self.backup_servers: dict[str, BackupServer] = {}
+        self.witness_servers: dict[str, WitnessServer] = {}
+        #: spare hosts used to restore the replication factor when a
+        #: backup dies during/before a master recovery
+        self.backup_spares: list["Host"] = []
+        self.config_version = 0
+        self.transport = RpcTransport(host)
+        self.transport.register("register_client", self._handle_register_client)
+        self.transport.register("renew_lease", self._handle_renew_lease)
+        self.transport.register("get_config", self._handle_get_config)
+
+    # ------------------------------------------------------------------
+    # client-facing RPCs
+    # ------------------------------------------------------------------
+    def _handle_register_client(self, args, ctx):
+        return self.lease_server.register_client()
+
+    def _handle_renew_lease(self, args, ctx):
+        return self.lease_server.renew(args)
+
+    def _handle_get_config(self, args, ctx):
+        return self.current_view()
+
+    def current_view(self) -> ClusterView:
+        tablets = []
+        masters = {}
+        for managed in self.masters.values():
+            for lo, hi in managed.owned_ranges:
+                tablets.append((lo, hi, managed.master_id))
+            masters[managed.master_id] = MasterInfo(
+                master_id=managed.master_id, host=managed.host,
+                backups=tuple(managed.backups),
+                witnesses=tuple(managed.witnesses),
+                witness_list_version=managed.witness_list_version,
+                epoch=managed.epoch)
+        return ClusterView(tablets=tuple(tablets), masters=masters,
+                           version=self.config_version)
+
+    # ------------------------------------------------------------------
+    # cluster building (setup-time, direct construction)
+    # ------------------------------------------------------------------
+    def create_master(self, master_id: str, master_host: "Host",
+                      backup_hosts: typing.Sequence["Host"] = (),
+                      witness_hosts: typing.Sequence["Host"] = (),
+                      owned_ranges: typing.Sequence[tuple[int, int]] = FULL_RANGE,
+                      backup_process_time: float = 0.0,
+                      witness_record_time: float = 0.0,
+                      **master_kwargs) -> CurpMaster:
+        """Build a master with its backups and witnesses."""
+        if master_id in self.masters:
+            raise ValueError(f"duplicate master id {master_id}")
+        if self.config.uses_backups and len(backup_hosts) != self.config.f:
+            raise ValueError(f"mode {self.config.mode} with f={self.config.f} "
+                             f"requires {self.config.f} backups, got "
+                             f"{len(backup_hosts)}")
+        witness_hosts = witness_hosts if self.config.uses_witnesses else ()
+        transports = {}
+        for backup_host in backup_hosts:
+            server = BackupServer(backup_host, master_id=master_id,
+                                  process_time=backup_process_time)
+            self.backup_servers[backup_host.name] = server
+            transports[backup_host.name] = server.transport
+        for witness_host in witness_hosts:
+            server = self.witness_servers.get(witness_host.name)
+            if server is None:
+                # A witness colocated with a backup (Figure 2) shares
+                # the host's RPC endpoint; method names are disjoint.
+                server = WitnessServer(
+                    witness_host, slots=self.config.witness_slots,
+                    associativity=self.config.witness_associativity,
+                    stale_threshold=self.config.gc_stale_threshold,
+                    record_time=witness_record_time,
+                    transport=transports.get(witness_host.name))
+                self.witness_servers[witness_host.name] = server
+            server.start_for(master_id)
+        master = CurpMaster(
+            master_host, master_id, self.config,
+            backups=[h.name for h in backup_hosts],
+            witnesses=[h.name for h in witness_hosts],
+            witness_list_version=0, epoch=0,
+            lease_server=None,  # masters check leases via expiry RPCs in
+                                # tests; wired explicitly where needed
+            owned_ranges=owned_ranges, **master_kwargs)
+        self.masters[master_id] = ManagedMaster(
+            master_id=master_id, host=master_host.name,
+            backups=[h.name for h in backup_hosts],
+            witnesses=[h.name for h in witness_hosts],
+            witness_list_version=0, epoch=0,
+            owned_ranges=list(owned_ranges), master=master)
+        self.config_version += 1
+        return master
+
+    def add_witness_host(self, witness_host: "Host",
+                         record_time: float = 0.0) -> WitnessServer:
+        """Register a standby witness server (for replacements)."""
+        server = WitnessServer(
+            witness_host, slots=self.config.witness_slots,
+            associativity=self.config.witness_associativity,
+            stale_threshold=self.config.gc_stale_threshold,
+            record_time=record_time)
+        self.witness_servers[witness_host.name] = server
+        return server
+
+    # ------------------------------------------------------------------
+    # master crash recovery (§3.3, §4.6)
+    # ------------------------------------------------------------------
+    def recover_master(self, master_id: str, new_host: "Host",
+                       rpc_timeout: float = 2_000.0):
+        """Generator: full recovery of a crashed master onto new_host."""
+        managed = self.masters[master_id]
+        if managed.recovering:
+            raise RecoveryFailed(f"{master_id} already recovering")
+        managed.recovering = True
+        try:
+            # 1. Fence: no zombie sync may complete from here on (§4.7).
+            # A sync needs *all* f backups to ack, so fencing any one
+            # live backup suffices; dead backups cannot ack either.
+            # (BackupServer.min_epoch is durable, so a fenced backup
+            # stays fenced across restarts.)
+            managed.epoch += 1
+            reachable = []
+            for backup in managed.backups:
+                try:
+                    yield self.transport.call(backup, "fence", managed.epoch,
+                                              timeout=rpc_timeout)
+                    reachable.append(backup)
+                except RpcError:
+                    continue
+            if not reachable:
+                raise RecoveryFailed(
+                    f"could not fence any backup of {master_id}")
+            # 2+3. Restore from a backup, replay from a witness.  The
+            # new master starts with the reachable backups; dead ones
+            # are replaced from spares below.
+            new_master = build_recovery_master(
+                new_host, master_id, self.config, reachable,
+                epoch=managed.epoch, owned_ranges=managed.owned_ranges)
+            stats = yield from recover(new_master, reachable,
+                                       managed.witnesses,
+                                       rpc_timeout=rpc_timeout)
+            managed.backups = list(reachable)
+            # 4. Fresh witnesses (reset on the same hosts), new version.
+            # Unreachable witness hosts are dropped from the list (the
+            # clients then use the remaining ones; replace_witness
+            # restores full strength later).  An empty list is safe:
+            # clients fall back to the 2-RTT sync path.
+            if self.config.uses_witnesses:
+                live_witnesses = []
+                for witness in managed.witnesses:
+                    try:
+                        yield self.transport.call(
+                            witness, "start", StartArgs(master_id=master_id),
+                            timeout=rpc_timeout)
+                        live_witnesses.append(witness)
+                    except RpcError:
+                        continue
+                managed.witnesses = live_witnesses
+                managed.witness_list_version += 1
+            new_master.witnesses = list(managed.witnesses)
+            new_master.witness_list_version = managed.witness_list_version
+            # 5. Go live.
+            new_master.active = True
+            managed.host = new_host.name
+            managed.master = new_master
+            self.config_version += 1
+            # 6. Restore the replication factor from spares, if any died.
+            missing = self.config.f - len(managed.backups)
+            while missing > 0 and self.backup_spares:
+                spare = self.backup_spares.pop(0)
+                server = BackupServer(spare, master_id=master_id)
+                server.min_epoch = managed.epoch
+                self.backup_servers[spare.name] = server
+                new_list = managed.backups + [spare.name]
+                yield from self._call_until_ok(
+                    managed.host, "update_backup_config", tuple(new_list),
+                    rpc_timeout)
+                managed.backups = new_list
+                missing -= 1
+            return stats
+        finally:
+            managed.recovering = False
+
+    # ------------------------------------------------------------------
+    # witness replacement (§3.6)
+    # ------------------------------------------------------------------
+    def replace_witness(self, master_id: str, dead_witness: str,
+                        new_witness_host: "Host",
+                        rpc_timeout: float = 2_000.0):
+        """Generator: decommission a crashed witness, install a fresh one.
+
+        Order per §3.6: start the new witness, tell the master (which
+        syncs to backups before acknowledging — that sync makes durable
+        everything whose only record was on the dead witness), and only
+        then publish the new list+version to clients.
+        """
+        managed = self.masters[master_id]
+        if dead_witness not in managed.witnesses:
+            raise ValueError(f"{dead_witness} is not a witness of {master_id}")
+        if new_witness_host.name not in self.witness_servers:
+            self.add_witness_host(new_witness_host)
+        yield from self._call_until_ok(
+            new_witness_host.name, "start", StartArgs(master_id=master_id),
+            rpc_timeout)
+        new_list = [new_witness_host.name if w == dead_witness else w
+                    for w in managed.witnesses]
+        new_version = managed.witness_list_version + 1
+        yield from self._call_until_ok(
+            managed.host, "update_witness_config", (tuple(new_list), new_version),
+            rpc_timeout)
+        managed.witnesses = new_list
+        managed.witness_list_version = new_version
+        self.config_version += 1
+        return new_list
+
+    # ------------------------------------------------------------------
+    # backup replacement (§3.6: unchanged from standard primary-backup)
+    # ------------------------------------------------------------------
+    def replace_backup(self, master_id: str, dead_backup: str,
+                       new_backup_host: "Host",
+                       rpc_timeout: float = 2_000.0):
+        managed = self.masters[master_id]
+        if dead_backup not in managed.backups:
+            raise ValueError(f"{dead_backup} is not a backup of {master_id}")
+        server = BackupServer(new_backup_host, master_id=master_id)
+        server.min_epoch = 0
+        self.backup_servers[new_backup_host.name] = server
+        new_list = [new_backup_host.name if b == dead_backup else b
+                    for b in managed.backups]
+        yield from self._call_until_ok(
+            managed.host, "update_backup_config", tuple(new_list), rpc_timeout)
+        managed.backups = new_list
+        self.config_version += 1
+        return new_list
+
+    # ------------------------------------------------------------------
+    # data migration (§3.6)
+    # ------------------------------------------------------------------
+    def migrate(self, src_master_id: str, dst_master_id: str,
+                lo: int, hi: int, rpc_timeout: float = 2_000.0):
+        """Generator: move key-hash range [lo, hi) between masters.
+
+        Per §3.6 the source syncs and resets its witnesses before the
+        final step, so witnesses are entirely out of the migration
+        protocol; stale records for migrated keys are filtered during
+        any later replay by the ownership check.
+        """
+        src = self.masters[src_master_id]
+        dst = self.masters[dst_master_id]
+        # Reset the source's witnesses (sync happens inside the master's
+        # update_witness_config handler before it acknowledges).
+        if self.config.uses_witnesses:
+            for witness in src.witnesses:
+                yield from self._call_until_ok(
+                    witness, "start", StartArgs(master_id=src_master_id),
+                    rpc_timeout)
+            new_version = src.witness_list_version + 1
+            yield from self._call_until_ok(
+                src.host, "update_witness_config",
+                (tuple(src.witnesses), new_version), rpc_timeout)
+            src.witness_list_version = new_version
+        else:
+            yield from self._call_until_ok(src.host, "sync", None, rpc_timeout)
+        # Final step: stop service on the range, move the objects.
+        objects = yield from self._call_until_ok(
+            src.host, "migrate_out", (lo, hi), rpc_timeout)
+        yield from self._call_until_ok(
+            dst.host, "migrate_in", (lo, hi, objects), rpc_timeout)
+        src.owned_ranges = _subtract(src.owned_ranges, (lo, hi))
+        dst.owned_ranges.append((lo, hi))
+        self.config_version += 1
+        return len(objects)
+
+    # ------------------------------------------------------------------
+    def _call_until_ok(self, dst: str, method: str, args,
+                       rpc_timeout: float, max_attempts: int = 20):
+        last: Exception | None = None
+        for _ in range(max_attempts):
+            try:
+                value = yield self.transport.call(dst, method, args,
+                                                  timeout=rpc_timeout)
+                return value
+            except RpcError as error:
+                last = error
+                yield self.sim.timeout(rpc_timeout / 4)
+        raise RecoveryFailed(f"{method} to {dst} kept failing: {last!r}")
+
+
+def _subtract(ranges: list[tuple[int, int]],
+              cut: tuple[int, int]) -> list[tuple[int, int]]:
+    from repro.core.master import _subtract_range
+    return _subtract_range(ranges, cut)

@@ -1,0 +1,79 @@
+"""Ping-based master failure detection.
+
+The paper leaves crash *detection* to the underlying system (RAMCloud
+pings through its coordinator).  This detector pings every master on an
+interval; after ``miss_threshold`` consecutive misses it drives
+:meth:`~repro.cluster.coordinator.Coordinator.recover_master` with the
+next standby host.
+
+It runs as a host process on the coordinator; ``stop()`` ends the loop
+(simulations that ``run()`` to queue exhaustion must stop it first).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.rpc import RpcError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.coordinator import Coordinator
+    from repro.net.host import Host
+
+
+class FailureDetector:
+    """Detects crashed masters and triggers recovery."""
+
+    def __init__(self, coordinator: "Coordinator",
+                 standby_hosts: typing.Sequence["Host"],
+                 interval: float = 1_000.0, miss_threshold: int = 3,
+                 ping_timeout: float = 500.0):
+        self.coordinator = coordinator
+        self.sim = coordinator.sim
+        self.standby_hosts = list(standby_hosts)
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.ping_timeout = ping_timeout
+        self._misses: dict[str, int] = {}
+        self._running = False
+        self.recoveries_started = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.coordinator.host.spawn(self._loop(), name="failure-detector")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.sim.timeout(self.interval)
+            if not self._running:
+                return
+            for master_id, managed in list(self.coordinator.masters.items()):
+                if managed.recovering:
+                    continue
+                alive = yield from self._ping(managed.host)
+                if alive:
+                    self._misses[master_id] = 0
+                    continue
+                self._misses[master_id] = self._misses.get(master_id, 0) + 1
+                if self._misses[master_id] >= self.miss_threshold:
+                    self._misses[master_id] = 0
+                    if not self.standby_hosts:
+                        continue  # nowhere to recover to
+                    standby = self.standby_hosts.pop(0)
+                    self.recoveries_started += 1
+                    self.coordinator.host.spawn(
+                        self.coordinator.recover_master(master_id, standby),
+                        name=f"recover-{master_id}")
+
+    def _ping(self, host_name: str):
+        try:
+            reply = yield self.coordinator.transport.call(
+                host_name, "ping", None, timeout=self.ping_timeout)
+            return reply == "PONG"
+        except RpcError:
+            return False

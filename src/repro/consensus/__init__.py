@@ -1,0 +1,24 @@
+"""Consensus substrate: Raft + the CURP consensus extension (§A.2).
+
+The paper sketches how CURP drops consensus update latency from 2 RTTs
+to 1: clients record requests on *witness components* colocated with
+the 2f+1 replicas while the strong leader executes speculatively and
+replies before the quorum commit.  The fast path needs a
+**superquorum** of f + ⌈f/2⌉ + 1 witness accepts, so that any f+1
+recovery quorum contains a majority (⌈f/2⌉+1) of copies of every
+completed-but-uncommitted request — the replay rule on leader change.
+
+- :mod:`~repro.consensus.raft` — a from-scratch Raft: randomized
+  elections, log replication, commit rules (including the
+  current-term-only commit restriction), state-machine application,
+  plus the CURP extension: speculative execution windows, witness
+  components, term-tagged records (zombie leaders, §A.2), and the
+  majority-of-quorum witness replay on leadership change.
+- :mod:`~repro.consensus.client` — the 1-RTT client: propose + record
+  in parallel, complete on superquorum, fall back to commit waits.
+"""
+
+from repro.consensus.raft import RaftNode, RaftConfig
+from repro.consensus.client import RaftCurpClient, superquorum_size
+
+__all__ = ["RaftConfig", "RaftCurpClient", "RaftNode", "superquorum_size"]

@@ -1,0 +1,325 @@
+"""The CURP client (§3.2.1) — where the 1 RTT happens.
+
+For an update the client *concurrently*:
+
+- sends the update RPC to the master, and
+- sends ``record`` RPCs to all f witnesses.
+
+It then waits for everything and decides:
+
+- master replied ``synced=True`` → complete (the master hit a conflict
+  and synced; witness outcomes don't matter, §3.2.3);
+- master replied speculative and **all f witnesses accepted** →
+  complete — the 1 RTT fast path;
+- any witness rejected / timed out → send a ``sync`` RPC and wait —
+  the 2-3 RTT slow path;
+- master timed out / errored → refresh the cluster view from the
+  coordinator and retry the *same* RpcId (RIFL makes the retry safe,
+  §3.3).
+
+The same class drives the paper's baselines: in SYNC / ASYNC /
+UNREPLICATED modes no witnesses are used and completion follows the
+master's reply alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.messages import (
+    BackupReadArgs,
+    ClusterView,
+    MasterInfo,
+    ProbeArgs,
+    PROBE_COMMUTE,
+    ReadArgs,
+    RECORD_ACCEPTED,
+    RecordArgs,
+    RecordedRequest,
+    UpdateArgs,
+    UpdateReply,
+)
+from repro.kvstore.hashing import key_hash
+from repro.kvstore.operations import Operation
+from repro.rifl import RiflClientTracker
+from repro.rpc import AppError, RpcError, RpcTimeout, RpcTransport
+from repro.sim.events import AllOf
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class ClientGaveUp(Exception):
+    """Raised when an operation exhausted ``config.max_attempts``."""
+
+
+@dataclasses.dataclass
+class UpdateOutcome:
+    """What one completed update looked like from the client."""
+
+    result: typing.Any
+    #: True = completed in 1 RTT via witnesses (or without durability in
+    #: ASYNC/UNREPLICATED modes)
+    fast_path: bool
+    #: True = master synced before replying (conflict path)
+    synced_by_master: bool
+    #: True = client had to issue a separate sync RPC
+    sync_rpc_needed: bool
+    attempts: int
+    latency: float
+
+
+class CurpClient:
+    """One application client."""
+
+    def __init__(self, host: "Host", config: CurpConfig,
+                 coordinator: str | None = None,
+                 collect_outcomes: bool = True):
+        self.host = host
+        self.sim = host.sim
+        self.config = config
+        self.coordinator = coordinator
+        self.transport = RpcTransport(host)
+        self.tracker: RiflClientTracker | None = None
+        self.view: ClusterView | None = None
+        self.collect_outcomes = collect_outcomes
+        self.outcomes: list[UpdateOutcome] = []
+        # counters for throughput benches (cheap even when outcomes off)
+        self.completed_updates = 0
+        self.completed_reads = 0
+        self.fast_path_updates = 0
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+    def connect(self):
+        """Generator: obtain a client id (lease) and the cluster view."""
+        if self.coordinator is None:
+            raise RuntimeError("connect() requires a coordinator address")
+        client_id = yield self.transport.call(
+            self.coordinator, "register_client", None,
+            timeout=self.config.rpc_timeout)
+        self.tracker = RiflClientTracker(client_id)
+        yield from self._refresh_view()
+        return client_id
+
+    def attach(self, client_id: int, view: ClusterView) -> None:
+        """Direct bootstrap for unit tests: skip the coordinator RPCs."""
+        self.tracker = RiflClientTracker(client_id)
+        self.view = view
+
+    def _refresh_view(self):
+        view = yield self.transport.call(
+            self.coordinator, "get_config", None,
+            timeout=self.config.rpc_timeout)
+        self.view = view
+
+    def _master_for(self, keys: typing.Sequence[str]) -> MasterInfo:
+        assert self.view is not None, "client not connected"
+        masters = {self.view.master_for_hash(key_hash(k)) for k in keys}
+        if len(masters) != 1 or None in masters:
+            raise ValueError(f"keys {keys!r} do not map to a single master")
+        master_id = masters.pop()
+        return self.view.masters[master_id]
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+    def update(self, op: Operation):
+        """Generator: perform a linearizable update; returns UpdateOutcome."""
+        if not op.is_update:
+            raise ValueError("use read() for read operations")
+        assert self.tracker is not None, "client not connected"
+        rpc_id = self.tracker.new_rpc()
+        started = self.sim.now
+        last_error: Exception | None = None
+        for attempt in range(1, self.config.max_attempts + 1):
+            master = self._master_for(op.touched_keys())
+            args = UpdateArgs(op=op, rpc_id=rpc_id,
+                              ack_seq=self.tracker.first_incomplete,
+                              witness_list_version=master.witness_list_version)
+            use_witnesses = (self.config.mode is ReplicationMode.CURP
+                             and len(master.witnesses) > 0)
+            # Fire the update RPC first, then the witness records: all
+            # leave through the client NIC back to back (§3.2.1).
+            master_call = self.host.spawn(
+                self._call_master(master.host, args), name="update-rpc")
+            record_calls = []
+            if use_witnesses:
+                record = RecordArgs(
+                    master_id=master.master_id,
+                    key_hashes=op.key_hashes(), rpc_id=rpc_id,
+                    request=RecordedRequest(op=op, rpc_id=rpc_id))
+                # A record carries the whole request (op + value), so
+                # it is roughly update-RPC-sized on the wire (§5.2).
+                record_calls = [
+                    self.host.spawn(self._record_on(witness, record),
+                                    name="record-rpc")
+                    for witness in master.witnesses]
+            results = yield AllOf(self.sim, [master_call] + record_calls)
+            status, payload = results[master_call]
+            if status == "ok":
+                reply: UpdateReply = payload
+                accepted = all(results[c] for c in record_calls)
+                if reply.synced:
+                    return self._complete(op, rpc_id, reply.result, started,
+                                          attempt, fast=False, by_master=True,
+                                          sync_rpc=False)
+                if use_witnesses and accepted:
+                    return self._complete(op, rpc_id, reply.result, started,
+                                          attempt, fast=True, by_master=False,
+                                          sync_rpc=False)
+                if self.config.mode is not ReplicationMode.CURP:
+                    # ASYNC / UNREPLICATED: complete on the master reply
+                    # alone (no durability guarantee in ASYNC).
+                    return self._complete(op, rpc_id, reply.result, started,
+                                          attempt, fast=True, by_master=False,
+                                          sync_rpc=False)
+                # CURP with a rejected/empty witness set: durability must
+                # come from a backup sync (§3.2.1).
+                # Slow path (§3.2.1): ask the master to sync.
+                try:
+                    yield self.transport.call(master.host, "sync", None,
+                                              timeout=self.config.rpc_timeout)
+                    return self._complete(op, rpc_id, reply.result, started,
+                                          attempt, fast=False, by_master=False,
+                                          sync_rpc=True)
+                except (AppError, RpcTimeout) as error:
+                    # Master crashed/deposed before the sync: restart the
+                    # whole operation (same RpcId).
+                    last_error = error
+            elif status == "app":
+                error: AppError = payload
+                last_error = error
+                if error.code == "STALE_RPC":  # pragma: no cover - guard
+                    raise error
+            else:  # timeout
+                last_error = payload
+            yield from self._recover_attempt()
+        raise ClientGaveUp(
+            f"update {op!r} failed after {self.config.max_attempts} "
+            f"attempts: {last_error!r}")
+
+    def _call_master(self, master_host: str, args: UpdateArgs):
+        try:
+            reply = yield self.transport.call(
+                master_host, "update", args, timeout=self.config.rpc_timeout)
+            return "ok", reply
+        except AppError as error:
+            return "app", error
+        except RpcError as error:
+            return "timeout", error
+
+    def _record_on(self, witness: str, args: RecordArgs):
+        """Record on one witness; False on rejection OR timeout."""
+        try:
+            result = yield self.transport.call(
+                witness, "record", args, timeout=self.config.rpc_timeout)
+            return result == RECORD_ACCEPTED
+        except RpcError:
+            return False
+
+    def _recover_attempt(self):
+        """Between attempts: small backoff, then refresh configuration."""
+        if self.config.retry_backoff > 0:
+            yield self.sim.timeout(self.config.retry_backoff)
+        if self.coordinator is not None:
+            try:
+                yield from self._refresh_view()
+            except RpcError:
+                pass  # coordinator briefly unreachable; retry with old view
+
+    def _complete(self, op: Operation, rpc_id, result, started: float,
+                  attempts: int, fast: bool, by_master: bool,
+                  sync_rpc: bool) -> UpdateOutcome:
+        self.tracker.completed(rpc_id)
+        outcome = UpdateOutcome(
+            result=result, fast_path=fast, synced_by_master=by_master,
+            sync_rpc_needed=sync_rpc, attempts=attempts,
+            latency=self.sim.now - started)
+        self.completed_updates += 1
+        if fast:
+            self.fast_path_updates += 1
+        if self.collect_outcomes:
+            self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, key: str, for_update: bool = False):
+        """Generator: linearizable read from the master.
+
+        ``for_update=True`` is the §A.3 fast path for reads preparing a
+        conditional update: the master may return an unsynced value
+        without waiting for its durability, because the commit's
+        version check revalidates it.
+        """
+        value, _version = yield from self.read_versioned(
+            key, for_update=for_update)
+        return value
+
+    def read_versioned(self, key: str, for_update: bool = False):
+        """Generator: read (value, version) — the transaction read set."""
+        started = self.sim.now
+        last_error: Exception | None = None
+        for _attempt in range(1, self.config.max_attempts + 1):
+            master = self._master_for((key,))
+            try:
+                value, version = yield self.transport.call(
+                    master.host, "read",
+                    ReadArgs(key=key, allow_unsynced=for_update,
+                             return_version=True),
+                    timeout=self.config.rpc_timeout)
+                self.completed_reads += 1
+                self.last_read_latency = self.sim.now - started
+                return value, version
+            except (AppError, RpcTimeout) as error:
+                last_error = error
+            yield from self._recover_attempt()
+        raise ClientGaveUp(f"read {key!r} failed: {last_error!r}")
+
+    def read_nearby(self, key: str, backup: str, witness: str):
+        """Generator: §A.1 consistent read from a (nearby) backup.
+
+        Probes the witness for commutativity concurrently with reading
+        the backup; if the witness holds no record touching the key, the
+        backup's value is guaranteed fresh (every completed update is
+        either synced to *all* backups or recorded on *all* witnesses).
+        Otherwise falls back to a master read.
+        """
+        assert self.view is not None, "client not connected"
+        master = self._master_for((key,))
+        probe = ProbeArgs(master_id=master.master_id,
+                          key_hashes=(key_hash(key),))
+        probe_call = self.host.spawn(
+            self._probe_witness(witness, probe), name="probe")
+        read_call = self.host.spawn(
+            self._read_backup(backup, key), name="backup-read")
+        results = yield AllOf(self.sim, [probe_call, read_call])
+        commutes = results[probe_call]
+        backup_ok, value = results[read_call]
+        if commutes and backup_ok:
+            self.completed_reads += 1
+            return value
+        value = yield from self.read(key)
+        return value
+
+    def _probe_witness(self, witness: str, args: ProbeArgs):
+        try:
+            result = yield self.transport.call(
+                witness, "probe", args, timeout=self.config.rpc_timeout)
+            return result == PROBE_COMMUTE
+        except RpcError:
+            return False
+
+    def _read_backup(self, backup: str, key: str):
+        try:
+            value = yield self.transport.call(
+                backup, "backup_read", BackupReadArgs(key=key),
+                timeout=self.config.rpc_timeout)
+            return True, value
+        except RpcError:
+            return False, None

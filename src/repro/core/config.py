@@ -1,0 +1,90 @@
+"""Protocol configuration.
+
+One config object drives both CURP and the paper's comparison systems:
+``ReplicationMode`` selects between the protocol variants measured in
+Figures 5/6/12 ("Original RAMCloud" = SYNC, "Async" = ASYNC,
+"Unreplicated" = UNREPLICATED, CURP = CURP).  Keeping them in one
+implementation guarantees the baselines pay identical execution and
+dispatch costs, so benchmark deltas isolate the protocol difference —
+the same methodology the paper uses by implementing CURP inside
+RAMCloud itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class ReplicationMode(enum.Enum):
+    """Which replication protocol a master runs."""
+
+    #: no backups at all; the latency/throughput upper bound
+    UNREPLICATED = "unreplicated"
+    #: traditional primary-backup: sync to all backups before replying
+    SYNC = "sync"
+    #: reply before sync, *without* witnesses (fast but unsafe — loses
+    #: acknowledged updates on crash; the paper's "Async" line)
+    ASYNC = "async"
+    #: the paper's protocol: speculative execution + witnesses
+    CURP = "curp"
+
+
+@dataclasses.dataclass
+class CurpConfig:
+    """Knobs for masters, witnesses and clients."""
+
+    #: fault-tolerance level: number of backups and witnesses (§3.1)
+    f: int = 3
+    mode: ReplicationMode = ReplicationMode.CURP
+
+    # -- witness geometry (§4.2, §B.1) ---------------------------------
+    #: total request slots per witness (paper: 4096 × 2 KB ≈ 9 MB/master)
+    witness_slots: int = 4096
+    #: set associativity (paper: 4-way after the Figure 11 study)
+    witness_associativity: int = 4
+    #: gc generations before a surviving record is suspected as
+    #: uncollected garbage (§4.5: "three is a good number")
+    gc_stale_threshold: int = 3
+
+    # -- master sync batching (§4.4, §C.1) ------------------------------
+    #: start a backup sync once this many unsynced ops accumulate
+    #: ("masters batch at most 50 operations before syncs")
+    min_sync_batch: int = 50
+    #: flush unsynced ops after this much quiet time (bounds how long a
+    #: witness must hold a record; not varied in the paper's figures)
+    idle_sync_delay: float = 200.0
+    #: window (µs) for the hot-key heuristic: an update to a key updated
+    #: this recently triggers a preemptive sync (§4.4); 0 disables
+    hot_key_window: float = 0.0
+
+    # -- client behaviour ------------------------------------------------
+    #: per-RPC timeout for client operations
+    rpc_timeout: float = 2_000.0
+    #: attempts before an update/read raises to the application
+    max_attempts: int = 30
+    #: backoff between client retries after a timeout/config refresh
+    retry_backoff: float = 50.0
+
+    # -- lease management (§4.8) -----------------------------------------
+    lease_check_interval: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError(f"f must be >= 0: {self.f}")
+        if self.witness_associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.witness_slots % self.witness_associativity != 0:
+            raise ValueError("witness_slots must be a multiple of associativity")
+        if self.min_sync_batch < 1:
+            raise ValueError("min_sync_batch must be >= 1")
+        if self.mode is ReplicationMode.UNREPLICATED and self.f != 0:
+            raise ValueError("unreplicated mode requires f=0")
+
+    @property
+    def uses_witnesses(self) -> bool:
+        return self.mode is ReplicationMode.CURP and self.f > 0
+
+    @property
+    def uses_backups(self) -> bool:
+        return self.mode is not ReplicationMode.UNREPLICATED and self.f > 0

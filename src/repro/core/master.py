@@ -1,0 +1,586 @@
+"""The CURP master (§3.2.3, §4.3–4.5) and the paper's baselines.
+
+One class implements all four replication modes of the evaluation
+(CURP / SYNC "Original" / ASYNC / UNREPLICATED) so that every mode pays
+identical execution and dispatch costs and benchmark deltas isolate the
+protocol itself.
+
+CURP-mode data path for an update:
+
+1. RIFL filter (duplicate → answer from the completion record).
+2. Commutativity check: does the operation touch any *unsynced* object
+   (log position > last synced position, §4.3)?
+3. Execute and append to the log.
+4. No conflict → reply immediately, ``synced=False`` (speculative,
+   1 RTT for the client) and let the batched sync pick the entry up.
+   Conflict → sync through this entry first, reply ``synced=True``
+   (client skips witnesses/sync RPC even if a witness rejected,
+   §3.2.3).
+5. Backup syncs run in a single background process, batched up to
+   ``min_sync_batch`` (§4.4); each completed sync garbage-collects the
+   synced requests from all witnesses (§4.5) and handles any
+   uncollected-garbage suspects the witnesses report back.
+
+Workers: a small pool executes operations; in SYNC mode the worker is
+*held* through the backup round trip, modelling RAMCloud's polling
+loops that §4.4 blames for wasted cycles — this is what caps the
+"Original" throughput line in Figures 6 and 12.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.messages import (
+    GcArgs,
+    ReadArgs,
+    RecordedRequest,
+    UpdateArgs,
+    UpdateReply,
+)
+from repro.kvstore.backup import ReplicateArgs
+from repro.kvstore.hashing import key_hash
+from repro.kvstore.operations import Operation, Read
+from repro.kvstore.store import KVStore
+from repro.rifl import DuplicateState, ResultRegistry
+from repro.rpc import AppError, RpcError, RpcTimeout, RpcTransport
+from repro.sim.events import AllOf
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.rifl.lease import LeaseServer
+    from repro.sim.resources import Resource
+
+FULL_RANGE: tuple[tuple[int, int], ...] = ((0, 2 ** 64),)
+
+#: wire-size model for the §5.2 traffic accounting, calibrated to the
+#: paper's 100 B-object workloads: a replicated log entry carries the
+#: value plus key and metadata; a gc pair is (64-bit hash, RpcId).
+ENTRY_WIRE_BYTES = 140
+GC_PAIR_WIRE_BYTES = 20
+RPC_HEADER_BYTES = 60
+
+
+@dataclasses.dataclass
+class MasterStats:
+    """Counters the benchmarks and tests read."""
+
+    updates: int = 0
+    reads: int = 0
+    speculative_replies: int = 0
+    conflict_syncs: int = 0
+    syncs: int = 0
+    synced_entries: int = 0
+    gc_rpcs: int = 0
+    stale_suspects_handled: int = 0
+    duplicates_filtered: int = 0
+    hot_key_syncs: int = 0
+
+
+class CurpMaster:
+    """One master server: executes, orders and replicates updates."""
+
+    def __init__(self, host: "Host", master_id: str, config: CurpConfig,
+                 backups: typing.Sequence[str] = (),
+                 witnesses: typing.Sequence[str] = (),
+                 witness_list_version: int = 0, epoch: int = 0,
+                 lease_server: "LeaseServer | None" = None,
+                 n_workers: int = 3, execute_time: float = 0.0,
+                 owned_ranges: typing.Sequence[tuple[int, int]] = FULL_RANGE,
+                 active: bool = True):
+        from repro.sim.resources import Resource
+
+        self.host = host
+        self.sim = host.sim
+        self.master_id = master_id
+        self.config = config
+        self.backups = list(backups)
+        self.witnesses = list(witnesses)
+        self.witness_list_version = witness_list_version
+        self.epoch = epoch
+        self.lease_server = lease_server
+        self.owned_ranges = list(owned_ranges)
+        #: False until recovery finishes installing this master
+        self.active = active
+        #: True once a backup fenced us: a newer master exists (§4.7)
+        self.deposed = False
+
+        self.store = KVStore()
+        self.registry = ResultRegistry()
+        #: log position through which backups have acknowledged
+        self.synced_position = 0
+        self.execute_time = execute_time
+        self.workers: "Resource" = Resource(host.sim, capacity=n_workers,
+                                            name=f"{master_id}-workers")
+        self.stats = MasterStats()
+
+        self._sync_active = False
+        self._flush_armed = False
+        #: (target position, event) pairs awaiting a sync
+        self._sync_waiters: list[tuple[int, typing.Any]] = []
+        #: (position, key_hashes, rpc_id) of speculative updates whose
+        #: witness records must be garbage collected once synced
+        self._pending_gc: list[tuple[int, tuple[int, ...], typing.Any]] = []
+
+        self.transport = RpcTransport(host)
+        self.transport.register("update", self._handle_update)
+        self.transport.register("read", self._handle_read)
+        self.transport.register("sync", self._handle_sync)
+        self.transport.register("update_witness_config",
+                                self._handle_update_witness_config)
+        self.transport.register("update_backup_config",
+                                self._handle_update_backup_config)
+        self.transport.register("migrate_out", self._handle_migrate_out)
+        self.transport.register("migrate_in", self._handle_migrate_in)
+        self.transport.register("ping", lambda args, ctx: "PONG")
+        host.on_crash(self._on_crash)
+
+        if lease_server is not None and config.lease_check_interval > 0:
+            host.spawn(self._lease_expiry_loop(), name="lease-gc")
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    def owns_hash(self, key_hash_value: int) -> bool:
+        return any(lo <= key_hash_value < hi for lo, hi in self.owned_ranges)
+
+    def owns_all(self, keys: typing.Iterable[str]) -> bool:
+        return all(self.owns_hash(key_hash(k)) for k in keys)
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+    def _check_serviceable(self, witness_list_version: int | None = None) -> None:
+        if not self.active:
+            raise AppError("NOT_READY", {"master": self.master_id})
+        if self.deposed:
+            raise AppError("DEPOSED", {"master": self.master_id})
+        if (witness_list_version is not None
+                and witness_list_version != self.witness_list_version):
+            # §3.6: the client recorded on a stale witness list; its
+            # records would not be replayed. Make it refetch and retry.
+            raise AppError("WRONG_WITNESS_VERSION",
+                           {"current": self.witness_list_version})
+
+    def _handle_update(self, args: UpdateArgs, ctx):
+        self._check_serviceable(args.witness_list_version)
+        op: Operation = args.op
+        if not op.is_update:
+            raise AppError("BAD_REQUEST", "reads must use the read RPC")
+        if not self.owns_all(op.touched_keys()):
+            raise AppError("NOT_OWNER", {"master": self.master_id})
+        # RIFL: piggybacked ack then duplicate filtering.
+        self.registry.process_ack(args.rpc_id.client_id, args.ack_seq)
+        state, saved = self.registry.check(args.rpc_id)
+        if state is DuplicateState.COMPLETED:
+            self.stats.duplicates_filtered += 1
+            record = self.registry.get(args.rpc_id)
+            synced = (record is None
+                      or record.log_position <= self.synced_position)
+            return UpdateReply(result=saved, synced=synced)
+        if state is DuplicateState.STALE:
+            # The client already acknowledged this RPC; §4.8 says ignore.
+            raise AppError("STALE_RPC", {"rpc_id": str(args.rpc_id)})
+        return self._update_process(op, args.rpc_id, ctx)
+
+    def _update_process(self, op: Operation, rpc_id, ctx):
+        """Generator: execute one update under the mode's rules."""
+        mode = self.config.mode
+        yield self.workers.request()
+        try:
+            if self.execute_time > 0:
+                yield self.sim.timeout(self.execute_time)
+            # Commutativity + hot-key checks look at state *before* the
+            # operation mutates it.
+            conflict = any(
+                self.store.is_unsynced(key, self.synced_position)
+                for key in op.touched_keys())
+            hot = False
+            if self.config.hot_key_window > 0:
+                now = self.sim.now
+                for key in op.mutated_keys():
+                    last = self.store.last_update_time_of(key)
+                    if last is not None and now - last <= self.config.hot_key_window:
+                        hot = True
+                        break
+            result, entry = self.store.execute(op, rpc_id=rpc_id,
+                                               now=self.sim.now)
+            assert entry is not None
+            self.registry.record(rpc_id, result, log_position=entry.index)
+            self.stats.updates += 1
+
+            if mode is ReplicationMode.UNREPLICATED:
+                self.synced_position = self.store.log.end
+                ctx.reply(UpdateReply(result=result, synced=True))
+                return
+            if mode is ReplicationMode.SYNC:
+                # Traditional primary-backup: hold the worker (polling)
+                # until all backups acknowledge, then reply. 2 RTTs.
+                yield self._request_sync(entry.index)
+                ctx.reply(UpdateReply(result=result, synced=True))
+                return
+            # CURP / ASYNC
+            if self.config.uses_witnesses:
+                self._pending_gc.append(
+                    (entry.index, op.key_hashes(), rpc_id))
+            if conflict:
+                self.stats.conflict_syncs += 1
+                yield self._request_sync(entry.index)
+                ctx.reply(UpdateReply(result=result, synced=True))
+                return
+            self.stats.speculative_replies += 1
+            ctx.reply(UpdateReply(result=result, synced=False))
+        finally:
+            self.workers.release()
+        # Post-reply sync scheduling (speculative path only).
+        unsynced = self.store.log.end - self.synced_position
+        if hot:
+            self.stats.hot_key_syncs += 1
+            self._kick_sync()
+        elif unsynced >= self.config.min_sync_batch:
+            self._kick_sync()
+        else:
+            self._arm_flush_timer()
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _handle_read(self, args: ReadArgs, ctx):
+        self._check_serviceable()
+        if not self.owns_all((args.key,)):
+            raise AppError("NOT_OWNER", {"master": self.master_id})
+        return self._read_process(args, ctx)
+
+    def _read_process(self, args: ReadArgs, ctx):
+        """Generator: linearizable read at the master.
+
+        Reads *touch* their key (§3.2.3): returning an unsynced value
+        would externalize state that might not survive a crash, so an
+        unsynced key forces a sync first.  Exception (§A.3):
+        ``allow_unsynced`` reads — preparation for a conditional update
+        — skip the wait, because the commit's version check revalidates
+        them; the version floor raised during recovery guarantees a
+        lost value's version is never reissued.
+        """
+        key = args.key
+        yield self.workers.request()
+        try:
+            if self.execute_time > 0:
+                yield self.sim.timeout(self.execute_time)
+            self.stats.reads += 1
+            if not args.allow_unsynced and \
+                    self.store.is_unsynced(key, self.synced_position):
+                yield self._request_sync(self.store.last_position_of(key))
+            value, _ = self.store.execute(Read(key))
+            if args.return_version:
+                ctx.reply((value, self.store.version(key)))
+            else:
+                ctx.reply(value)
+        finally:
+            self.workers.release()
+
+    # ------------------------------------------------------------------
+    # client slow path
+    # ------------------------------------------------------------------
+    def _handle_sync(self, args, ctx):
+        """Client couldn't record on all witnesses: make state durable."""
+        self._check_serviceable()
+        def work():
+            yield self._request_sync(self.store.log.end)
+            return "SYNCED"
+        return work()
+
+    # ------------------------------------------------------------------
+    # sync machinery
+    # ------------------------------------------------------------------
+    def _request_sync(self, target: int):
+        """Event that triggers once synced_position >= target."""
+        done = self.sim.event()
+        if not self.config.uses_backups:
+            # No backups: everything is trivially "synced".
+            self.synced_position = self.store.log.end
+            done.succeed()
+            return done
+        if self.synced_position >= target:
+            done.succeed()
+            return done
+        self._sync_waiters.append((target, done))
+        self._kick_sync()
+        return done
+
+    def _kick_sync(self) -> None:
+        if (self._sync_active or self.deposed or not self.host.alive
+                or not self.config.uses_backups):
+            return
+        if self.synced_position >= self.store.log.end:
+            return
+        self._sync_active = True
+        self.host.spawn(self._sync_process(), name="sync")
+
+    def _sync_process(self):
+        """Background replication loop: one outstanding sync at a time
+        (matching RAMCloud), batching whatever accumulated (§4.4)."""
+        try:
+            while (self.synced_position < self.store.log.end
+                   and not self.deposed):
+                entries = tuple(self.store.log.entries_after(
+                    self.synced_position))
+                args = ReplicateArgs(master_id=self.master_id,
+                                     epoch=self.epoch, entries=entries)
+                wire_size = RPC_HEADER_BYTES + ENTRY_WIRE_BYTES * len(entries)
+                acks = [self.transport.call(backup, "replicate", args,
+                                            timeout=self.config.rpc_timeout,
+                                            request_size=wire_size)
+                        for backup in self.backups]
+                try:
+                    yield AllOf(self.sim, acks)
+                except AppError as error:
+                    if error.code == "FENCED":
+                        self._become_deposed()
+                        return
+                    raise
+                except RpcTimeout:
+                    # A backup is unreachable; durability requires all f
+                    # acks, so retry (the coordinator replaces dead
+                    # backups out of band).
+                    continue
+                self.synced_position = entries[-1].index
+                self.stats.syncs += 1
+                self.stats.synced_entries += len(entries)
+                self._wake_sync_waiters()
+                if self.config.uses_witnesses and self.witnesses:
+                    yield from self._gc_witnesses()
+                # Between rounds, honour the minimum batch (§4.4/C.1):
+                # unless someone is blocked waiting, don't start another
+                # sync until min_sync_batch operations accumulated (the
+                # idle-flush timer covers stragglers).
+                if (not self._sync_waiters
+                        and self.store.log.end - self.synced_position
+                        < self.config.min_sync_batch):
+                    break
+        finally:
+            self._sync_active = False
+        if self.synced_position < self.store.log.end:
+            self._arm_flush_timer()
+
+    def _wake_sync_waiters(self) -> None:
+        still_waiting = []
+        for target, event in self._sync_waiters:
+            if target <= self.synced_position:
+                event.succeed()
+            else:
+                still_waiting.append((target, event))
+        self._sync_waiters = still_waiting
+
+    def _become_deposed(self) -> None:
+        """A backup fenced us: a recovery replaced this master (§4.7)."""
+        self.deposed = True
+        waiters, self._sync_waiters = self._sync_waiters, []
+        for _target, event in waiters:
+            event.fail(AppError("DEPOSED", {"master": self.master_id}))
+
+    def _gc_witnesses(self):
+        """Drop newly-synced requests from all witnesses (§3.5, §4.5)."""
+        pairs = []
+        remaining = []
+        for position, hashes, rpc_id in self._pending_gc:
+            if position <= self.synced_position:
+                pairs.extend((key_hash_value, rpc_id)
+                             for key_hash_value in hashes)
+            else:
+                remaining.append((position, hashes, rpc_id))
+        self._pending_gc = remaining
+        if not pairs:
+            return
+        args = GcArgs(master_id=self.master_id, pairs=tuple(pairs))
+        wire_size = RPC_HEADER_BYTES + GC_PAIR_WIRE_BYTES * len(pairs)
+        calls = [self.transport.call(witness, "gc", args,
+                                     timeout=self.config.rpc_timeout,
+                                     request_size=wire_size)
+                 for witness in self.witnesses]
+        self.stats.gc_rpcs += len(calls)
+        for call in calls:
+            try:
+                stale = yield call
+            except RpcError:
+                continue  # witness down/replaced; coordinator handles it
+            for request in stale:
+                self._handle_stale_suspect(request)
+
+    def _handle_stale_suspect(self, request: RecordedRequest) -> None:
+        """§4.5: a witness reports an uncollected record (its client
+        probably crashed before reaching us).  Retry it through RIFL,
+        let the normal sync+gc cycle collect it."""
+        self.stats.stale_suspects_handled += 1
+        state, _ = self.registry.check(request.rpc_id)
+        if state is DuplicateState.NEW and self.owns_all(
+                request.op.touched_keys()):
+            result, entry = self.store.execute(request.op,
+                                               rpc_id=request.rpc_id,
+                                               now=self.sim.now)
+            if entry is not None:
+                self.registry.record(request.rpc_id, result,
+                                     log_position=entry.index)
+                self._pending_gc.append(
+                    (entry.index, request.op.key_hashes(), request.rpc_id))
+                self._arm_flush_timer()
+        else:
+            # Already executed (or foreign): the data is durable, so the
+            # slot can be collected right away — waiting for the next
+            # sync could leave the orphan pinned forever on an idle
+            # master.
+            pairs = tuple((key_hash_value, request.rpc_id)
+                          for key_hash_value in request.op.key_hashes())
+            self.host.spawn(self._send_gc_round(pairs), name="orphan-gc")
+
+    def _send_gc_round(self, pairs):
+        """One explicit gc round (outside the sync loop)."""
+        args = GcArgs(master_id=self.master_id, pairs=pairs)
+        for witness in list(self.witnesses):
+            self.stats.gc_rpcs += 1
+            try:
+                stale = yield self.transport.call(
+                    witness, "gc", args, timeout=self.config.rpc_timeout)
+            except RpcError:
+                continue
+            for request in stale:
+                self._handle_stale_suspect(request)
+
+    def _arm_flush_timer(self) -> None:
+        """One-shot: flush stragglers that never fill a batch."""
+        if (self._flush_armed or not self.config.uses_backups
+                or self.deposed or not self.host.alive):
+            return
+        self._flush_armed = True
+        incarnation = self.host.incarnation
+
+        def check() -> None:
+            self._flush_armed = False
+            if (not self.host.alive or self.host.incarnation != incarnation
+                    or self.deposed):
+                return
+            if self.synced_position < self.store.log.end:
+                self._kick_sync()
+        self.sim.schedule_callback(self.config.idle_sync_delay, check)
+
+    # ------------------------------------------------------------------
+    # reconfiguration (§3.6)
+    # ------------------------------------------------------------------
+    def _handle_update_witness_config(self, args, ctx):
+        """Coordinator installed a new witness list: sync first so the
+        requests recorded only on the old witnesses are durable, then
+        adopt the new list and version."""
+        witnesses, version = args
+        def work():
+            yield self._request_sync(self.store.log.end)
+            self.witnesses = list(witnesses)
+            self.witness_list_version = version
+            self._pending_gc.clear()  # old witnesses' slots are gone
+            return "OK"
+        return work()
+
+    def _handle_update_backup_config(self, args, ctx):
+        """Coordinator replaced a backup: bring the newcomer up to date
+        with the full log before switching over."""
+        new_backups = list(args)
+        def work():
+            fresh = [b for b in new_backups if b not in self.backups]
+            entries = tuple(self.store.log.all_entries())
+            for backup in fresh:
+                # reset_log, not replicate: the newcomer may carry a
+                # stale log from an earlier life.
+                replicate = ReplicateArgs(master_id=self.master_id,
+                                          epoch=self.epoch, entries=entries)
+                yield from self._call_until_ok(backup, "reset_log", replicate)
+            self.backups = new_backups
+            return "OK"
+        return work()
+
+    def _call_until_ok(self, dst: str, method: str, args):
+        while True:
+            try:
+                value = yield self.transport.call(
+                    dst, method, args, timeout=self.config.rpc_timeout)
+                return value
+            except RpcTimeout:
+                continue
+
+    def _handle_migrate_out(self, args, ctx):
+        """Final step of migration: stop owning [lo, hi), hand objects
+        over.  The coordinator already synced+reset witnesses (§3.6)."""
+        lo, hi = args
+        def work():
+            yield self._request_sync(self.store.log.end)
+            moved = []
+            for key in list(self.store.keys()):
+                h = key_hash(key)
+                if lo <= h < hi:
+                    moved.append((key, self.store.read(key),
+                                  self.store.version(key)))
+            self.owned_ranges = _subtract_range(self.owned_ranges, (lo, hi))
+            return tuple(moved)
+        return work()
+
+    def _handle_migrate_in(self, args, ctx):
+        lo, hi, objects = args
+        def work():
+            for key, value, version in objects:
+                self.store.install(key, value, version, now=self.sim.now)
+            self.owned_ranges.append((lo, hi))
+            yield self._request_sync(self.store.log.end)
+            return "OK"
+        return work()
+
+    # ------------------------------------------------------------------
+    # lease expiry (§4.8 modification 2)
+    # ------------------------------------------------------------------
+    def _lease_expiry_loop(self):
+        while True:
+            yield self.sim.timeout(self.config.lease_check_interval)
+            if self.deposed or self.lease_server is None:
+                return
+            expired = [cid for cid in self.lease_server.expired_clients()]
+            if not expired:
+                continue
+            # Sync *before* dropping records: a witness replay of this
+            # client's requests must still be filtered afterwards.
+            yield self._request_sync(self.store.log.end)
+            for client_id in expired:
+                self.registry.expire_client(client_id)
+                self.lease_server.drop(client_id)
+
+    # ------------------------------------------------------------------
+    # crash
+    # ------------------------------------------------------------------
+    def _on_crash(self) -> None:
+        """Masters are volatile: everything but the backups' logs and
+        the witnesses' NVM dies with the process."""
+        self.active = False
+        waiters, self._sync_waiters = self._sync_waiters, []
+        del waiters  # their processes were interrupted with the host
+        self._sync_active = False
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def unsynced_count(self) -> int:
+        return self.store.log.end - self.synced_position
+
+
+def _subtract_range(ranges: list[tuple[int, int]],
+                    cut: tuple[int, int]) -> list[tuple[int, int]]:
+    """Remove [cut_lo, cut_hi) from a list of [lo, hi) ranges."""
+    cut_lo, cut_hi = cut
+    result: list[tuple[int, int]] = []
+    for lo, hi in ranges:
+        if cut_hi <= lo or hi <= cut_lo:
+            result.append((lo, hi))
+            continue
+        if lo < cut_lo:
+            result.append((lo, cut_lo))
+        if cut_hi < hi:
+            result.append((cut_hi, hi))
+    return result

@@ -1,0 +1,134 @@
+"""Wire-format dataclasses for CURP RPCs.
+
+Mirrors the witness API of Figure 4 plus the master-facing RPCs the
+protocol text describes (update, read, sync) and the coordinator-facing
+control RPCs (§3.6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateArgs:
+    """Client → master: execute an update operation."""
+
+    op: typing.Any
+    rpc_id: typing.Any
+    #: piggybacked RIFL acknowledgment (first incomplete seq)
+    ack_seq: int
+    #: the witness list version the client believes current (§3.6)
+    witness_list_version: int
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateReply:
+    result: typing.Any
+    #: True when the update is already durable on backups (the client
+    #: may skip witnesses entirely, §3.2.3)
+    synced: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadArgs:
+    key: str
+    #: §A.3: reads preparing a conditional update may return unsynced
+    #: values without waiting for durability — the commit-time version
+    #: check catches any value that failed to survive
+    allow_unsynced: bool = False
+    #: return (value, version) instead of just the value
+    return_version: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordArgs:
+    """Client → witness: record(masterID, keyHashes, rpcId, request)."""
+
+    master_id: str
+    key_hashes: tuple[int, ...]
+    rpc_id: typing.Any
+    request: typing.Any
+
+
+#: witness record outcomes (plain strings cross the wire)
+RECORD_ACCEPTED = "ACCEPTED"
+RECORD_REJECTED = "REJECTED"
+
+
+@dataclasses.dataclass(frozen=True)
+class GcArgs:
+    """Master → witness: drop synced requests."""
+
+    master_id: str
+    pairs: tuple[tuple[int, typing.Any], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeArgs:
+    """Reader client → witness: do these key hashes commute with every
+    saved request? (§A.1 consistent reads from backups)."""
+
+    master_id: str
+    key_hashes: tuple[int, ...]
+
+
+PROBE_COMMUTE = "COMMUTE"
+PROBE_CONFLICT = "CONFLICT"
+
+
+@dataclasses.dataclass(frozen=True)
+class GetRecoveryDataArgs:
+    master_id: str
+
+
+@dataclasses.dataclass(frozen=True)
+class StartArgs:
+    master_id: str
+
+
+@dataclasses.dataclass(frozen=True)
+class BackupReadArgs:
+    """Reader client → backup: read a key from replicated state (§A.1)."""
+
+    key: str
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordedRequest:
+    """What a witness actually stores: enough to replay the update
+    during recovery (the operation and its exactly-once identity)."""
+
+    op: typing.Any
+    rpc_id: typing.Any
+
+
+@dataclasses.dataclass(frozen=True)
+class MasterInfo:
+    """One master's placement as known by the coordinator."""
+
+    master_id: str
+    host: str
+    backups: tuple[str, ...]
+    witnesses: tuple[str, ...]
+    witness_list_version: int
+    epoch: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterView:
+    """Configuration snapshot clients cache (§3.6).
+
+    ``tablets`` maps key-hash ranges [lo, hi) to master ids.
+    """
+
+    tablets: tuple[tuple[int, int, str], ...]
+    masters: dict[str, MasterInfo]
+    version: int
+
+    def master_for_hash(self, key_hash_value: int) -> str | None:
+        for lo, hi, master_id in self.tablets:
+            if lo <= key_hash_value < hi:
+                return master_id
+        return None

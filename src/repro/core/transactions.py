@@ -1,0 +1,118 @@
+"""Optimistic transactions over CURP (the §A.3 pattern).
+
+The appendix sketches how applications use CURP for multi-object
+updates: *read* the objects (recording versions), *compute*, then
+*commit* with a conditional write that validates every version and
+aborts if anything changed.  CURP makes both halves fast:
+
+- the reads use the §A.3 relaxation — they may return unsynced values
+  without waiting for durability, because the commit revalidates them
+  (``for_update=True`` reads);
+- the commit is a single :class:`ConditionalMultiWrite`, which takes
+  the normal 1-RTT fast path when its key set commutes with everything
+  in flight.
+
+This is single-master optimistic concurrency control (all keys of one
+transaction must live on one master), in the spirit of RAMCloud's
+linearizable conditional operations — not a full distributed
+transaction protocol.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.client import CurpClient
+from repro.kvstore.operations import KEEP, ConditionalMultiWrite
+
+
+class TransactionAborted(Exception):
+    """Commit-time version validation failed (concurrent conflict)."""
+
+    def __init__(self, mismatches):
+        super().__init__(f"version mismatches: {mismatches!r}")
+        self.mismatches = mismatches
+
+
+class OptimisticTransaction:
+    """One read-validate-write transaction attempt."""
+
+    def __init__(self, client: CurpClient):
+        self.client = client
+        #: key -> version observed by the transaction's reads
+        self._read_versions: dict[str, int] = {}
+        #: key -> value read (for the application's convenience)
+        self._read_values: dict[str, typing.Any] = {}
+        #: key -> staged new value
+        self._writes: dict[str, typing.Any] = {}
+        self._committed = False
+
+    def read(self, key: str):
+        """Generator: read a key into the read set (§A.3 fast read —
+        no durability wait)."""
+        if key in self._writes:
+            return self._writes[key]
+        value, version = yield from self.client.read_versioned(
+            key, for_update=True)
+        self._read_versions[key] = version
+        self._read_values[key] = value
+        return value
+
+    def write(self, key: str, value: typing.Any) -> None:
+        """Stage a write (applied atomically at commit)."""
+        if self._committed:
+            raise RuntimeError("transaction already committed")
+        self._writes[key] = value
+
+    @property
+    def read_set(self) -> dict[str, int]:
+        return dict(self._read_versions)
+
+    def commit(self):
+        """Generator: atomically apply staged writes iff no key in the
+        read set changed.  Raises :class:`TransactionAborted` on
+        conflict.  Read-only transactions commit trivially (their
+        serialization point is the last read)."""
+        if self._committed:
+            raise RuntimeError("transaction already committed")
+        self._committed = True
+        if not self._writes and not self._read_versions:
+            return None
+        if not self._writes:
+            return None  # read-only: nothing to validate against
+        items = []
+        for key, value in self._writes.items():
+            expected = self._read_versions.get(key)
+            if expected is None:
+                # Blind write: validate against the current version so
+                # the operation is still a CAS (read it now).
+                _value, expected = yield from self.client.read_versioned(
+                    key, for_update=True)
+            items.append((key, value, expected))
+        for key, version in self._read_versions.items():
+            if key not in self._writes:
+                items.append((key, KEEP, version))  # validate-only
+        op = ConditionalMultiWrite(items=tuple(items))
+        outcome = yield from self.client.update(op)
+        status, detail = outcome.result
+        if status != "OK":
+            raise TransactionAborted(detail)
+        return outcome
+
+
+def run_transaction(client: CurpClient, body, max_attempts: int = 20):
+    """Generator: run ``body(txn)`` (a generator function) with
+    automatic retry on abort — the paper's "applications ... handle
+    aborts by retrying".
+
+    Returns the body's return value of the attempt that committed.
+    """
+    for _attempt in range(max_attempts):
+        txn = OptimisticTransaction(client)
+        result = yield from body(txn)
+        try:
+            yield from txn.commit()
+            return result
+        except TransactionAborted:
+            continue
+    raise TransactionAborted(f"gave up after {max_attempts} attempts")

@@ -1,0 +1,147 @@
+"""Witness servers (Figure 4 API).
+
+A witness lives for one master at a time.  Life cycle:
+
+- ``start(masterId)`` (coordinator): begin a fresh *normal-mode* life.
+- ``record`` (clients): save commutative requests; REJECTED on
+  conflict, capacity, wrong master or recovery mode.
+- ``gc`` (master): drop synced requests; report stale suspects.
+- ``getRecoveryData`` (recovery master): irreversibly freeze into
+  *recovery mode* and return saved requests (§4.1, §4.6).
+- ``end`` (coordinator): decommission.
+
+Plus ``probe`` for the consistent-backup-read protocol of §A.1.
+
+Witness storage is non-volatile (§3.2.2: flash-backed DRAM): it
+survives host crash + restart.  While the host is down, clients'
+record RPCs time out and they fall back to the 2-RTT sync path —
+availability degrades, consistency never does.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.messages import (
+    GcArgs,
+    GetRecoveryDataArgs,
+    ProbeArgs,
+    PROBE_COMMUTE,
+    PROBE_CONFLICT,
+    RECORD_ACCEPTED,
+    RECORD_REJECTED,
+    RecordArgs,
+    StartArgs,
+)
+from repro.core.witness_cache import WitnessCache
+from repro.rpc import AppError, RpcTransport
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+MODE_UNCONFIGURED = "unconfigured"
+MODE_NORMAL = "normal"
+MODE_RECOVERY = "recovery"
+
+
+class WitnessServer:
+    """One witness endpoint on a host."""
+
+    def __init__(self, host: "Host", slots: int = 4096, associativity: int = 4,
+                 stale_threshold: int = 3, record_time: float = 0.0,
+                 transport: RpcTransport | None = None):
+        self.host = host
+        self.sim = host.sim
+        self.mode = MODE_UNCONFIGURED
+        self.master_id: str | None = None
+        self.cache = WitnessCache(slots=slots, associativity=associativity,
+                                  stale_threshold=stale_threshold)
+        #: CPU time to process one record RPC (profiles; §5.2 measures
+        #: 1270k records/s ≈ 0.8 µs each)
+        self.record_time = record_time
+        self.records_processed = 0
+        self.gcs_processed = 0
+        # Witnesses are lightweight and can share a host (and its RPC
+        # endpoint) with a backup — Figure 2's colocated deployment.
+        self.transport = transport or RpcTransport(host)
+        self.transport.register("record", self._handle_record)
+        self.transport.register("gc", self._handle_gc)
+        self.transport.register("get_recovery_data", self._handle_recovery_data)
+        self.transport.register("probe", self._handle_probe)
+        self.transport.register("start", self._handle_start)
+        self.transport.register("end", self._handle_end)
+        # NVM: no crash hook — cache contents survive crash/restart.
+
+    # ------------------------------------------------------------------
+    # client-facing
+    # ------------------------------------------------------------------
+    def _handle_record(self, args: RecordArgs, ctx):
+        if self.record_time > 0:
+            def work():
+                yield self.sim.timeout(self.record_time)
+                return self._record_now(args)
+            return work()
+        return self._record_now(args)
+
+    def _record_now(self, args: RecordArgs) -> str:
+        self.records_processed += 1
+        if self.mode != MODE_NORMAL or args.master_id != self.master_id:
+            # Wrong master, decommissioned, or frozen for recovery: the
+            # client cannot complete in 1 RTT through this witness.
+            return RECORD_REJECTED
+        accepted = self.cache.record(args.key_hashes, args.rpc_id, args.request)
+        return RECORD_ACCEPTED if accepted else RECORD_REJECTED
+
+    def _handle_probe(self, args: ProbeArgs, ctx):
+        """§A.1: COMMUTE means a backup's value for these keys is fresh.
+
+        Conservative in every non-normal state: recovery mode or a
+        different master ⇒ CONFLICT, pushing the reader to the master.
+        """
+        if self.mode != MODE_NORMAL or args.master_id != self.master_id:
+            return PROBE_CONFLICT
+        if self.cache.commutes_with(args.key_hashes):
+            return PROBE_COMMUTE
+        return PROBE_CONFLICT
+
+    # ------------------------------------------------------------------
+    # master-facing
+    # ------------------------------------------------------------------
+    def _handle_gc(self, args: GcArgs, ctx):
+        if self.mode != MODE_NORMAL or args.master_id != self.master_id:
+            raise AppError("WRONG_WITNESS_STATE", {"mode": self.mode})
+        self.gcs_processed += 1
+        stale = self.cache.gc(args.pairs)
+        return tuple(stale)
+
+    # ------------------------------------------------------------------
+    # recovery-facing
+    # ------------------------------------------------------------------
+    def _handle_recovery_data(self, args: GetRecoveryDataArgs, ctx):
+        if self.master_id != args.master_id or self.mode == MODE_UNCONFIGURED:
+            raise AppError("WRONG_WITNESS_STATE",
+                           {"mode": self.mode, "master": self.master_id})
+        # Irreversible (§4.1): even a duplicate getRecoveryData keeps the
+        # witness frozen; record RPCs are rejected from now on.
+        self.mode = MODE_RECOVERY
+        return tuple(self.cache.all_requests())
+
+    # ------------------------------------------------------------------
+    # coordinator-facing
+    # ------------------------------------------------------------------
+    def start_for(self, master_id: str) -> None:
+        """Begin a fresh life for (possibly another) master."""
+        self.master_id = master_id
+        self.mode = MODE_NORMAL
+        self.cache.clear()
+
+    def _handle_start(self, args: StartArgs, ctx):
+        self.start_for(args.master_id)
+        return "SUCCESS"
+
+    def _handle_end(self, args, ctx):
+        self.master_id = None
+        self.mode = MODE_UNCONFIGURED
+        self.cache.clear()
+        return None

@@ -1,0 +1,186 @@
+"""The witness's set-associative request store (§4.2, §B.1).
+
+Recording is deliberately cache-like so a witness burns almost no CPU:
+a request on key ``k`` maps to set ``hash(k) mod n_sets``; the witness
+scans that set's ``associativity`` slots and
+
+- **rejects** if any occupied slot holds a *different* request with the
+  same 64-bit key hash (not commutative — §3.2.2), or
+- **rejects** if the set has no free slot (a *collision*, the subject
+  of the Figure 11 associativity study), else
+- **accepts**, writing the request into one slot per affected key
+  (multi-object updates need a commutative free slot in *every*
+  relevant set, §4.2).
+
+Uncollected-garbage detection (§4.5): the cache counts gc rounds; when
+a record that has survived ``stale_threshold`` gc rounds causes a
+rejection, it is reported back to the master through the next gc
+response so the master can retry/sync/re-collect it.
+
+This class is a pure data structure (no simulator dependency) so the
+Figure 11 benchmark can drive it millions of times cheaply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass
+class WitnessRecord:
+    """One slot's contents."""
+
+    key_hash: int
+    rpc_id: typing.Any
+    request: typing.Any
+    #: value of the cache's gc counter when this record was written
+    gc_generation: int
+
+
+class WitnessCache:
+    """Fixed-size set-associative store of client update requests."""
+
+    def __init__(self, slots: int = 4096, associativity: int = 4,
+                 stale_threshold: int = 3):
+        if slots < 1 or associativity < 1:
+            raise ValueError("slots and associativity must be >= 1")
+        if slots % associativity != 0:
+            raise ValueError(
+                f"slots ({slots}) must be a multiple of associativity "
+                f"({associativity})")
+        self.slots = slots
+        self.associativity = associativity
+        self.n_sets = slots // associativity
+        self.stale_threshold = stale_threshold
+        self._sets: list[list[WitnessRecord | None]] = [
+            [None] * associativity for _ in range(self.n_sets)]
+        self._gc_rounds = 0
+        #: rejected-against records suspected as uncollected garbage,
+        #: keyed by (key_hash, rpc_id); drained by the next gc response
+        self._suspects: dict[tuple[int, typing.Any], typing.Any] = {}
+        # counters for §5.2-style accounting
+        self.accepts = 0
+        self.rejects_commutativity = 0
+        self.rejects_capacity = 0
+
+    # ------------------------------------------------------------------
+    # record
+    # ------------------------------------------------------------------
+    def record(self, key_hashes: typing.Sequence[int], rpc_id: typing.Any,
+               request: typing.Any) -> bool:
+        """Try to save a request; True = accepted.
+
+        Duplicate records (same rpc_id — a client retry) are accepted
+        idempotently.
+        """
+        if not key_hashes:
+            raise ValueError("record() needs at least one key hash")
+        # Pass 1: commutativity + capacity check over every affected set.
+        needed_per_set: dict[int, int] = {}
+        for key_hash in key_hashes:
+            set_index = key_hash % self.n_sets
+            already_present = False
+            for slot in self._sets[set_index]:
+                if slot is not None and slot.key_hash == key_hash:
+                    if slot.rpc_id == rpc_id:
+                        already_present = True  # idempotent retry
+                        break
+                    self._note_suspect(slot)
+                    self.rejects_commutativity += 1
+                    return False
+            if not already_present:
+                needed_per_set[set_index] = needed_per_set.get(set_index, 0) + 1
+        for set_index, needed in needed_per_set.items():
+            free = sum(1 for slot in self._sets[set_index] if slot is None)
+            if free < needed:
+                self.rejects_capacity += 1
+                return False
+        # Pass 2: write one slot per key (all-or-nothing guaranteed above).
+        for key_hash in key_hashes:
+            set_index = key_hash % self.n_sets
+            row = self._sets[set_index]
+            if any(slot is not None and slot.key_hash == key_hash
+                   for slot in row):
+                continue  # idempotent duplicate for this key
+            for position, slot in enumerate(row):
+                if slot is None:
+                    row[position] = WitnessRecord(
+                        key_hash=key_hash, rpc_id=rpc_id, request=request,
+                        gc_generation=self._gc_rounds)
+                    break
+        self.accepts += 1
+        return True
+
+    def _note_suspect(self, record: WitnessRecord) -> None:
+        if self._gc_rounds - record.gc_generation >= self.stale_threshold:
+            self._suspects[(record.key_hash, record.rpc_id)] = record.request
+
+    # ------------------------------------------------------------------
+    # commutativity probe (§A.1 consistent backup reads)
+    # ------------------------------------------------------------------
+    def commutes_with(self, key_hashes: typing.Sequence[int]) -> bool:
+        """Would an operation on these keys commute with every saved
+        request?  (Used by readers checking backup freshness.)"""
+        for key_hash in key_hashes:
+            row = self._sets[key_hash % self.n_sets]
+            if any(slot is not None and slot.key_hash == key_hash
+                   for slot in row):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, pairs: typing.Iterable[tuple[int, typing.Any]]
+           ) -> list[typing.Any]:
+        """Drop records matching (key_hash, rpc_id) pairs.
+
+        Unknown pairs are ignored (the record RPC may have been
+        rejected, §4.5).  Returns requests suspected as uncollected
+        garbage accumulated since the last gc (drained on return).
+        """
+        self._gc_rounds += 1
+        for key_hash, rpc_id in pairs:
+            row = self._sets[key_hash % self.n_sets]
+            for position, slot in enumerate(row):
+                if (slot is not None and slot.key_hash == key_hash
+                        and slot.rpc_id == rpc_id):
+                    row[position] = None
+                    break
+            self._suspects.pop((key_hash, rpc_id), None)
+        stale = list(self._suspects.values())
+        self._suspects.clear()
+        return stale
+
+    # ------------------------------------------------------------------
+    # recovery / lifecycle
+    # ------------------------------------------------------------------
+    def all_requests(self) -> list[typing.Any]:
+        """Unique saved requests (a multi-key request appears once)."""
+        seen: dict[typing.Any, typing.Any] = {}
+        for row in self._sets:
+            for slot in row:
+                if slot is not None and slot.rpc_id not in seen:
+                    seen[slot.rpc_id] = slot.request
+        return list(seen.values())
+
+    def clear(self) -> None:
+        self._sets = [[None] * self.associativity for _ in range(self.n_sets)]
+        self._suspects.clear()
+        self._gc_rounds = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def occupied_slots(self) -> int:
+        return sum(1 for row in self._sets for slot in row if slot is not None)
+
+    @property
+    def gc_rounds(self) -> int:
+        return self._gc_rounds
+
+    def memory_bytes(self, slot_size: int = 2048) -> int:
+        """§5.2 accounting: paper uses 2 KB slots → ~9 MB per master."""
+        metadata = 24 * self.slots  # key hash + rpc id + generation
+        return self.slots * slot_size + metadata

@@ -1,0 +1,21 @@
+"""Experiment harness: cluster builders, hardware profiles, experiment
+drivers shared by tests, examples and the per-figure benchmarks."""
+
+from repro.harness.profiles import (
+    ClusterProfile,
+    HostCosts,
+    RAMCLOUD_PROFILE,
+    REDIS_PROFILE,
+    TEST_PROFILE,
+)
+from repro.harness.builder import Cluster, build_cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterProfile",
+    "HostCosts",
+    "RAMCLOUD_PROFILE",
+    "REDIS_PROFILE",
+    "TEST_PROFILE",
+    "build_cluster",
+]

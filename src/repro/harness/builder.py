@@ -1,0 +1,152 @@
+"""Cluster builder: one call from nothing to a serving CURP cluster.
+
+Used by the test suite (with ``TEST_PROFILE`` for exact RTT math), the
+examples, and every benchmark (with the calibrated profiles).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cluster.coordinator import Coordinator
+from repro.core.client import CurpClient
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.master import CurpMaster
+from repro.harness.profiles import ClusterProfile, TEST_PROFILE
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+@dataclasses.dataclass
+class Cluster:
+    """A built cluster plus handles to everything in it."""
+
+    sim: Simulator
+    network: Network
+    config: CurpConfig
+    profile: ClusterProfile
+    coordinator: Coordinator
+    masters: dict[str, CurpMaster]
+    backup_hosts: dict[str, list[str]]
+    witness_hosts: dict[str, list[str]]
+    clients: list[CurpClient]
+    _host_counter: int = 0
+
+    # ------------------------------------------------------------------
+    # convenience plumbing
+    # ------------------------------------------------------------------
+    def master(self, master_id: str = "m0") -> CurpMaster:
+        """The currently-active master object (tracks recoveries)."""
+        managed = self.coordinator.masters.get(master_id)
+        if managed is not None and managed.master is not None:
+            return managed.master
+        return self.masters[master_id]
+
+    def run(self, generator_or_event, timeout: float | None = None):
+        """Run a client generator (or event) to completion; returns its
+        value.  ``timeout`` bounds simulated time (RuntimeError on
+        expiry) so a buggy protocol can't hang the test suite."""
+        from repro.sim.events import Event
+        if isinstance(generator_or_event, Event):
+            target = generator_or_event
+        else:
+            target = self.sim.process(generator_or_event)
+        if timeout is not None:
+            deadline = self.sim.now + timeout
+            while not target.triggered:
+                if self.sim.now > deadline or not self.sim.step():
+                    raise RuntimeError(
+                        f"cluster.run timed out at t={self.sim.now}")
+            return target.value
+        return self.sim.run(target)
+
+    def new_client(self, collect_outcomes: bool = True) -> CurpClient:
+        """Create and connect a client (runs the simulator briefly)."""
+        self._host_counter += 1
+        host = self.network.add_host(
+            f"client{self._host_counter}",
+            tx_cost=self.profile.client.tx, rx_cost=self.profile.client.rx)
+        client = CurpClient(host, self.config,
+                            coordinator=self.coordinator.host.name,
+                            collect_outcomes=collect_outcomes)
+        self.run(client.connect())
+        self.clients.append(client)
+        return client
+
+    def add_host(self, name: str, role: str = "client"):
+        """Add a raw host costed per the profile role."""
+        costs = getattr(self.profile, role)
+        return self.network.add_host(name, tx_cost=costs.tx,
+                                     rx_cost=costs.rx,
+                                     shared_dispatch=costs.shared)
+
+    def settle(self, quiet: float = 5_000.0) -> None:
+        """Run the simulator for a while (drain syncs, timers)."""
+        self.sim.run(until=self.sim.now + quiet)
+
+
+def build_cluster(config: CurpConfig | None = None,
+                  profile: ClusterProfile = TEST_PROFILE,
+                  n_masters: int = 1,
+                  seed: int = 0,
+                  drop_rate: float = 0.0,
+                  lease_duration: float = 10_000_000.0,
+                  colocate_witnesses: bool = False) -> Cluster:
+    """Build a cluster: coordinator + n masters, each with f backups and
+    f witnesses (when the mode uses them), on a fresh simulator.
+
+    ``colocate_witnesses=True`` places each witness on its backup's
+    host — the paper's Figure 2 deployment ("witnesses are lightweight
+    and can be co-hosted with backups")."""
+    config = config or CurpConfig()
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=LatencyModel(profile.latency()),
+                      drop_rate=drop_rate)
+    coordinator_host = network.add_host("coordinator")
+    coordinator = Coordinator(coordinator_host, network, config,
+                              lease_duration=lease_duration)
+
+    masters: dict[str, CurpMaster] = {}
+    backup_hosts: dict[str, list[str]] = {}
+    witness_hosts: dict[str, list[str]] = {}
+    span = 2 ** 64 // n_masters
+    for index in range(n_masters):
+        master_id = f"m{index}"
+        master_host = network.add_host(f"{master_id}-host",
+                                       tx_cost=profile.master.tx,
+                                       rx_cost=profile.master.rx,
+                                       shared_dispatch=profile.master.shared)
+        backups = [network.add_host(f"{master_id}-backup{i}",
+                                    tx_cost=profile.backup.tx,
+                                    rx_cost=profile.backup.rx)
+                   for i in range(config.f if config.uses_backups else 0)]
+        if colocate_witnesses and config.uses_witnesses:
+            if len(backups) < config.f:
+                raise ValueError("colocation requires f backups")
+            witnesses = backups[:config.f]
+        else:
+            witnesses = [network.add_host(f"{master_id}-witness{i}",
+                                          tx_cost=profile.witness.tx,
+                                          rx_cost=profile.witness.rx)
+                         for i in range(config.f if config.uses_witnesses
+                                        else 0)]
+        lo = index * span
+        hi = (index + 1) * span if index < n_masters - 1 else 2 ** 64
+        master = coordinator.create_master(
+            master_id, master_host,
+            backup_hosts=backups, witness_hosts=witnesses,
+            owned_ranges=((lo, hi),),
+            backup_process_time=profile.backup_process_time,
+            witness_record_time=profile.witness_record_time,
+            n_workers=profile.master_workers,
+            execute_time=profile.execute_time)
+        masters[master_id] = master
+        backup_hosts[master_id] = [b.name for b in backups]
+        witness_hosts[master_id] = [w.name for w in witnesses]
+
+    return Cluster(sim=sim, network=network, config=config, profile=profile,
+                   coordinator=coordinator, masters=masters,
+                   backup_hosts=backup_hosts, witness_hosts=witness_hosts,
+                   clients=[])

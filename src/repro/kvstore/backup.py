@@ -1,0 +1,136 @@
+"""Backup servers: ordered log replication targets.
+
+A backup accepts ``replicate`` RPCs from its master, appends the
+entries (idempotently — the master may resend on retry), and serves the
+whole log to a recovery master.  Backup storage is durable: it survives
+host crash + restart, modelling RAMCloud's flush-to-disk path.
+
+Zombie fencing (§4.7): the coordinator bumps the master *epoch* when it
+starts recovering a crashed master and fences every backup with the new
+epoch.  Replication from the deposed master (a zombie that never really
+died) carries the old epoch and is rejected, so the zombie can never
+complete another sync — and therefore can never let a client complete
+an operation — after recovery begins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.kvstore.log import LogEntry
+from repro.rpc import AppError, RpcTransport
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicateArgs:
+    master_id: str
+    epoch: int
+    entries: tuple[LogEntry, ...]
+
+
+class BackupServer:
+    """One backup replica for one master's log."""
+
+    def __init__(self, host: "Host", master_id: str,
+                 process_time: float = 0.0,
+                 transport: RpcTransport | None = None):
+        self.host = host
+        self.sim = host.sim
+        self.master_id = master_id
+        #: smallest master epoch still allowed to replicate
+        self.min_epoch = 0
+        #: per-message handling cost (models backup CPU, from profiles)
+        self.process_time = process_time
+        self._entries: dict[int, LogEntry] = {}
+        #: materialized object values (served to §A.1 backup readers);
+        #: TOMBSTONE-deleted keys are removed
+        self._values: dict[str, typing.Any] = {}
+        # May share the host's endpoint with a colocated witness
+        # (Figure 2); method names are disjoint.
+        self.transport = transport or RpcTransport(host)
+        self.transport.register("replicate", self._handle_replicate)
+        self.transport.register("reset_log", self._handle_reset_log)
+        self.transport.register("fence", self._handle_fence)
+        self.transport.register("get_backup_data", self._handle_get_data)
+        self.transport.register("backup_read", self._handle_backup_read)
+        # Backup storage is durable: no on_crash hook clears it.
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def _handle_replicate(self, args: ReplicateArgs, ctx):
+        if args.master_id != self.master_id:
+            raise AppError("WRONG_MASTER", {"expected": self.master_id})
+        if args.epoch < self.min_epoch:
+            # Deposed master (zombie): refuse, so its clients can never
+            # complete an operation through the sync path.
+            raise AppError("FENCED", {"min_epoch": self.min_epoch})
+        if self.process_time > 0:
+            def work():
+                yield self.sim.timeout(self.process_time)
+                self._store(args.entries)
+                return self.last_index
+            return work()
+        self._store(args.entries)
+        return self.last_index
+
+    def _store(self, entries: typing.Sequence[LogEntry]) -> None:
+        from repro.kvstore.log import TOMBSTONE
+        for entry in entries:
+            existing = self._entries.get(entry.index)
+            if existing is not None:
+                if existing != entry:
+                    raise AppError("LOG_DIVERGENCE", {"index": entry.index})
+                continue  # duplicate resend: don't re-apply effects
+            self._entries[entry.index] = entry
+            for key, value, _version in entry.effects:
+                if value is TOMBSTONE:
+                    self._values.pop(key, None)
+                else:
+                    self._values[key] = value
+
+    def _handle_reset_log(self, args: ReplicateArgs, ctx):
+        """Adopt the caller's log wholesale (recovery, §4.6).
+
+        A crash mid-sync can leave backups with diverging tails (some
+        received the last partial batch, others did not; none of it was
+        acknowledged to clients).  The recovery master resolves this by
+        installing its restored+replayed log on every backup.
+        """
+        if args.master_id != self.master_id:
+            raise AppError("WRONG_MASTER", {"expected": self.master_id})
+        if args.epoch < self.min_epoch:
+            raise AppError("FENCED", {"min_epoch": self.min_epoch})
+        self._entries.clear()
+        self._values.clear()
+        self._store(args.entries)
+        return self.last_index
+
+    def _handle_fence(self, args: int, ctx):
+        """Coordinator: reject replication below this epoch from now on."""
+        self.min_epoch = max(self.min_epoch, args)
+        return self.min_epoch
+
+    def _handle_get_data(self, args, ctx):
+        """Recovery master fetches the full ordered log."""
+        return tuple(self._entries[i] for i in sorted(self._entries))
+
+    def _handle_backup_read(self, args, ctx):
+        """§A.1: read replicated (synced) state; the *reader* is
+        responsible for checking freshness against a witness."""
+        key = args.key if hasattr(args, "key") else args
+        return self._values.get(key)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def last_index(self) -> int:
+        return max(self._entries, default=0)
+
+    def entry_count(self) -> int:
+        return len(self._entries)

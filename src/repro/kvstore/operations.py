@@ -1,0 +1,180 @@
+"""The NoSQL operation vocabulary.
+
+Each operation declares which primary keys it *reads* and which it
+*mutates*.  CURP's entire commutativity machinery (witness slot checks,
+master unsynced-window checks) keys off these sets — the paper's
+insight (§4) is that for NoSQL stores, commutativity is decidable from
+operation parameters alone: operations touching disjoint key sets
+commute.
+
+Operations here are deliberately *state-independent* in their key sets:
+a SQL-style ``UPDATE ... WHERE`` whose touched keys depend on data is
+exactly what witnesses cannot support (§3.2.2), and has no
+representation in this vocabulary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.kvstore.hashing import key_hash
+
+
+class Operation:
+    """Base class; subclasses are frozen dataclasses."""
+
+    #: True for operations that modify state (need RIFL + durability)
+    is_update: typing.ClassVar[bool] = True
+
+    def read_keys(self) -> tuple[str, ...]:
+        """Keys whose values this operation observes."""
+        return ()
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        """Keys whose values this operation changes."""
+        return ()
+
+    def touched_keys(self) -> tuple[str, ...]:
+        """Union of read and mutated keys, deduplicated, order stable."""
+        seen: dict[str, None] = {}
+        for key in self.read_keys() + self.mutated_keys():
+            seen.setdefault(key)
+        return tuple(seen)
+
+    def key_hashes(self) -> tuple[int, ...]:
+        """64-bit hashes of the mutated keys (what witnesses store)."""
+        return tuple(key_hash(k) for k in self.mutated_keys())
+
+
+@dataclasses.dataclass(frozen=True)
+class Write(Operation):
+    """Unconditional overwrite: ``x <- value``."""
+
+    key: str
+    value: typing.Any
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+
+@dataclasses.dataclass(frozen=True)
+class Read(Operation):
+    """Linearizable read of one key."""
+
+    key: str
+    is_update: typing.ClassVar[bool] = False
+
+    def read_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+
+@dataclasses.dataclass(frozen=True)
+class Increment(Operation):
+    """Atomic add; returns the new value.  Reads and writes its key
+    (two increments of the same key do not commute for CURP purposes —
+    same key → conflict — matching the paper's per-key rule)."""
+
+    key: str
+    delta: int = 1
+
+    def read_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConditionalWrite(Operation):
+    """Write iff the object's version matches (RAMCloud-style CAS)."""
+
+    key: str
+    value: typing.Any
+    expected_version: int
+
+    def read_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+
+@dataclasses.dataclass(frozen=True)
+class Delete(Operation):
+    """Remove a key."""
+
+    key: str
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return (self.key,)
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiWrite(Operation):
+    """Atomically write several objects (paper §4.2's multi-object
+    update: the witness must find a free commutative slot for *every*
+    key or reject the whole request)."""
+
+    items: tuple[tuple[str, typing.Any], ...]
+
+    def __post_init__(self) -> None:
+        keys = [k for k, _ in self.items]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate keys in MultiWrite: {keys}")
+        if not keys:
+            raise ValueError("empty MultiWrite")
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return tuple(k for k, _ in self.items)
+
+
+#: sentinel value in a ConditionalMultiWrite item meaning "validate the
+#: version only, do not change the value" (read-set validation)
+KEEP = "__KEEP__"
+
+
+@dataclasses.dataclass(frozen=True)
+class ConditionalMultiWrite(Operation):
+    """Atomic multi-object compare-and-swap: every item's version must
+    match or nothing is applied.
+
+    This is the commit operation of the optimistic transactions that
+    §A.3 describes ("the updates check to ensure that the previously
+    read values have not changed, and the updates abort if any value
+    has changed").  ``KEEP`` items validate a read-set entry without
+    writing it.
+    """
+
+    #: (key, new_value | KEEP, expected_version) triples
+    items: tuple[tuple[str, typing.Any, int], ...]
+
+    def __post_init__(self) -> None:
+        keys = [k for k, _v, _ver in self.items]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate keys in ConditionalMultiWrite: {keys}")
+        if not keys:
+            raise ValueError("empty ConditionalMultiWrite")
+
+    def read_keys(self) -> tuple[str, ...]:
+        return tuple(k for k, _v, _ver in self.items)
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return tuple(k for k, v, _ver in self.items if v is not KEEP)
+
+    def key_hashes(self) -> tuple[int, ...]:
+        # Witnesses must guard the whole validated set: a conflicting
+        # write to any read-set key would invalidate the commit, so the
+        # record occupies a slot per touched key, not just per write.
+        return tuple(key_hash(k) for k in self.touched_keys())
+
+
+def commutative(a: Operation, b: Operation) -> bool:
+    """Do two operations commute? Disjoint touched-key sets (paper §4).
+
+    Read-read sharing is also commutative, so the precise rule is:
+    no key mutated by one may be touched by the other.
+    """
+    a_mut, b_mut = set(a.mutated_keys()), set(b.mutated_keys())
+    a_touch, b_touch = set(a.touched_keys()), set(b.touched_keys())
+    return not (a_mut & b_touch) and not (b_mut & a_touch)

@@ -1,0 +1,15 @@
+"""Measurement utilities: latency recorders, distribution series, and
+the ASCII table/figure renderers the benchmarks print."""
+
+from repro.metrics.stats import LatencyRecorder, percentile
+from repro.metrics.series import ccdf_points, cdf_points
+from repro.metrics.tables import format_table, format_distribution_rows
+
+__all__ = [
+    "LatencyRecorder",
+    "ccdf_points",
+    "cdf_points",
+    "format_distribution_rows",
+    "format_table",
+    "percentile",
+]

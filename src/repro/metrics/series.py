@@ -1,0 +1,39 @@
+"""Distribution series for the paper's CDF/CCDF figures."""
+
+from __future__ import annotations
+
+import typing
+
+
+def ccdf_points(samples: typing.Sequence[float],
+                points: int = 50) -> list[tuple[float, float]]:
+    """Complementary CDF samples: (x, fraction of samples >= x).
+
+    Figures 5 and 7 plot exactly this (log-log).  Points are taken at
+    evenly spaced sample ranks so the tail is represented.
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = []
+    for i in range(points):
+        rank = min(n - 1, int(i * n / points))
+        fraction = (n - rank) / n
+        out.append((ordered[rank], fraction))
+    out.append((ordered[-1], 1.0 / n))
+    return out
+
+
+def cdf_points(samples: typing.Sequence[float],
+               points: int = 50) -> list[tuple[float, float]]:
+    """CDF samples: (x, fraction of samples <= x) — Figure 8's shape."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = []
+    for i in range(points):
+        rank = min(n - 1, int((i + 1) * n / points) - 1)
+        out.append((ordered[rank], (rank + 1) / n))
+    return out

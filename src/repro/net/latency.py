@@ -1,0 +1,33 @@
+"""One-way latency models.
+
+The default distribution applies to every (src, dst) pair; overrides
+express asymmetric topologies, e.g. wide-area links between regions in
+the geo-replication example or a slow path to one backup.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.distributions import Distribution, Fixed
+
+
+class LatencyModel:
+    """Maps (src, dst) host-name pairs to one-way delay distributions."""
+
+    def __init__(self, default: Distribution | None = None):
+        self.default = default or Fixed(2.0)
+        self._overrides: dict[tuple[str, str], Distribution] = {}
+
+    def set_pair(self, src: str, dst: str, dist: Distribution,
+                 symmetric: bool = True) -> None:
+        """Override the latency for src→dst (and dst→src if symmetric)."""
+        self._overrides[(src, dst)] = dist
+        if symmetric:
+            self._overrides[(dst, src)] = dist
+
+    def distribution(self, src: str, dst: str) -> Distribution:
+        return self._overrides.get((src, dst), self.default)
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.distribution(src, dst).sample(rng)

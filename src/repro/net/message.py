@@ -1,0 +1,25 @@
+"""Network messages."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """A datagram in flight between two hosts.
+
+    ``payload`` is opaque to the network (the RPC layer puts request /
+    response frames in it).  ``size_bytes`` only feeds the traffic
+    accounting used by the §5.2 network-amplification analysis — the
+    simulator does not model bandwidth-limited links, matching the
+    paper's small-object (100 B) workloads where latency, not bandwidth,
+    dominates.
+    """
+
+    src: str
+    dst: str
+    payload: typing.Any
+    size_bytes: int = 100
+    sent_at: float = 0.0

@@ -1,0 +1,129 @@
+"""The network: asynchronous, unreliable message delivery.
+
+Matches the paper's network model (§3.1): *asynchronous* (no bound on
+message delay — latency is sampled from arbitrary distributions) and
+*unreliable* (messages can be dropped, hosts partitioned).  CURP must be
+correct under all of it; the tests exercise drops and partitions, and
+the benchmarks calibrate the latency models to the paper's clusters.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.host import Host
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.sim.distributions import Distribution
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+class TrafficStats:
+    """Message/byte counters, per host and total (§5.2 analysis)."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_dropped = 0
+        self.per_host_sent: dict[str, int] = {}
+        self.per_host_bytes: dict[str, int] = {}
+
+    def record_send(self, src: str, size_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
+        self.per_host_bytes[src] = self.per_host_bytes.get(src, 0) + size_bytes
+
+
+class Network:
+    """Connects hosts; owns latency, drop and partition behaviour."""
+
+    def __init__(self, sim: "Simulator", latency: LatencyModel | None = None,
+                 drop_rate: float = 0.0):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1): {drop_rate}")
+        self.drop_rate = drop_rate
+        self.hosts: dict[str, Host] = {}
+        self.stats = TrafficStats()
+        #: observers called with every transmitted Message (traffic
+        #: analysis, e.g. §5.2 payload-copy accounting); must not mutate
+        self.taps: list[typing.Callable[[Message], None]] = []
+        self._blocked: set[frozenset[str]] = set()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, tx_cost: float = 0.0,
+                 rx_cost: float = 0.0, shared_dispatch: bool = False) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name: {name}")
+        host = Host(self.sim, self, name, tx_cost=tx_cost, rx_cost=rx_cost,
+                    shared_dispatch=shared_dispatch)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def set_link_latency(self, src: str, dst: str, dist: Distribution,
+                         symmetric: bool = True) -> None:
+        self.latency.set_pair(src, dst, dist, symmetric=symmetric)
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Block traffic between hosts a and b (both directions)."""
+        self._blocked.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._blocked.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._blocked.clear()
+
+    def isolate(self, name: str) -> None:
+        """Partition ``name`` from every other host (zombie scenarios)."""
+        for other in self.hosts:
+            if other != name:
+                self.partition(name, other)
+
+    def rejoin(self, name: str) -> None:
+        for other in self.hosts:
+            self.heal(name, other)
+
+    def is_blocked(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._blocked
+
+    # ------------------------------------------------------------------
+    # transmission (called by Host.send after NIC serialization)
+    # ------------------------------------------------------------------
+    def _transmit(self, src: Host, dst: str, payload: typing.Any,
+                  size_bytes: int, departs_at: float) -> None:
+        if dst not in self.hosts:
+            raise KeyError(f"unknown destination host: {dst}")
+        self.stats.record_send(src.name, size_bytes)
+        if self.taps:
+            tap_message = Message(src=src.name, dst=dst, payload=payload,
+                                  size_bytes=size_bytes, sent_at=self.sim.now)
+            for tap in self.taps:
+                tap(tap_message)
+        if self.is_blocked(src.name, dst):
+            self.stats.messages_dropped += 1
+            return
+        if self.drop_rate > 0 and self.sim.rng.random() < self.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        message = Message(src=src.name, dst=dst, payload=payload,
+                          size_bytes=size_bytes, sent_at=self.sim.now)
+        if src.name == dst:
+            wire = 0.0  # loopback
+        else:
+            wire = self.latency.sample(self.sim.rng, src.name, dst)
+        arrival_delay = max(0.0, departs_at - self.sim.now) + wire
+        target = self.hosts[dst]
+        self.sim.schedule_callback(arrival_delay, lambda: target._deliver(message))

@@ -1,0 +1,130 @@
+"""Append-only file + fsync device.
+
+Redis durability = append the command to the AOF and ``fsync`` before
+replying.  The cost is entirely the fsync: 50–100 µs on the paper's
+NVMe drives (Table 1), milliseconds on SATA.  The
+:class:`FsyncDevice` models the drive: one fsync at a time, lognormal
+duration; concurrent requests queue — which is precisely what makes
+Redis's event-loop batching (§C.2) effective: one fsync can cover many
+commands.
+
+AOF contents survive host crash/restart (it is a file); the buffer of
+*unsynced* commands does not.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.distributions import Distribution, LogNormal
+from repro.sim.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+#: NVMe flash fsync band from Table 1 / §5.4 (µs)
+DEFAULT_FSYNC = LogNormal(median=70.0, sigma=0.25)
+
+
+class FsyncDevice:
+    """One storage device: serializes fsyncs, samples their duration."""
+
+    def __init__(self, host: "Host", duration: Distribution | None = None):
+        self.sim = host.sim
+        self.duration = duration or DEFAULT_FSYNC
+        self._device = Resource(host.sim, capacity=1, name="fsync-device")
+        self.fsyncs = 0
+
+    def fsync(self):
+        """``yield from`` helper: one fsync round trip to the medium."""
+        self.fsyncs += 1
+        yield from self._device.use(self.duration.sample(self.sim.rng))
+
+
+class AppendOnlyFile:
+    """The AOF: an ordered command log with a durable prefix.
+
+    ``append`` buffers a command (volatile); ``make_durable`` runs one
+    fsync and marks everything appended so far durable.  Crash recovery
+    replays ``durable_entries``.
+    """
+
+    def __init__(self, host: "Host", device: FsyncDevice):
+        self.sim = host.sim
+        self.device = device
+        #: (seq, command, rpc_id, result) tuples; seq starts at 1.  The
+        #: result rides along so RIFL completion records are durable
+        #: atomically with the command (same argument as §3.3).
+        self._entries: list[tuple[int, typing.Any, typing.Any, typing.Any]] = []
+        self.durable_seq = 0
+        self._fsync_waiters: list[tuple[int, typing.Any]] = []
+        self._fsync_running = False
+        #: callbacks invoked (with the new durable_seq) after each fsync
+        self.on_durable: list[typing.Callable[[int], None]] = []
+        host.on_crash(self._on_crash)
+        self._host = host
+
+    @property
+    def end_seq(self) -> int:
+        return len(self._entries)
+
+    def append(self, command: typing.Any, rpc_id: typing.Any = None,
+               result: typing.Any = None) -> int:
+        """Buffer a command; returns its sequence number."""
+        seq = len(self._entries) + 1
+        self._entries.append((seq, command, rpc_id, result))
+        return seq
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def request_durable(self, target_seq: int):
+        """Event that fires once durable_seq >= target_seq."""
+        done = self.sim.event()
+        if self.durable_seq >= target_seq:
+            done.succeed()
+            return done
+        self._fsync_waiters.append((target_seq, done))
+        self._kick()
+        return done
+
+    def _kick(self) -> None:
+        if self._fsync_running or not self._host.alive:
+            return
+        if self.durable_seq >= self.end_seq:
+            return
+        self._fsync_running = True
+        self._host.spawn(self._fsync_process(), name="aof-fsync")
+
+    def _fsync_process(self):
+        try:
+            while self.durable_seq < self.end_seq:
+                target = self.end_seq
+                yield from self.device.fsync()
+                self.durable_seq = target
+                still = []
+                for seq, event in self._fsync_waiters:
+                    if seq <= self.durable_seq:
+                        event.succeed()
+                    else:
+                        still.append((seq, event))
+                self._fsync_waiters = still
+                for callback in self.on_durable:
+                    callback(self.durable_seq)
+                if not self._fsync_waiters:
+                    break  # no demand: leave the tail for the next kick
+        finally:
+            self._fsync_running = False
+
+    # ------------------------------------------------------------------
+    # crash model
+    # ------------------------------------------------------------------
+    def _on_crash(self) -> None:
+        """The file survives; buffered-but-unsynced entries do not."""
+        self._entries = self._entries[:self.durable_seq]
+        self._fsync_waiters.clear()
+        self._fsync_running = False
+
+    def durable_entries(self) -> list[tuple[int, typing.Any, typing.Any]]:
+        return self._entries[:self.durable_seq]

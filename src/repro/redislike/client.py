@@ -1,0 +1,147 @@
+"""Redis clients for the three durability modes.
+
+In CURP mode a write command is sent to the server and recorded on all
+witnesses concurrently (§5.4); the client completes when
+
+- the server's reply says ``synced`` (conflict path), or
+- the server replied speculatively and **all** witnesses accepted, or
+- after an explicit ``sync`` round trip otherwise.
+
+In NONDURABLE/DURABLE modes the client is a plain request/response
+client — durability (or its absence) is entirely the server's affair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.messages import RECORD_ACCEPTED, RecordArgs, RecordedRequest
+from repro.kvstore.hashing import key_hash
+from repro.redislike.commands import Command
+from repro.redislike.server import CommandArgs, CommandReply, DurabilityMode
+from repro.rifl import RiflClientTracker
+from repro.rpc import AppError, RpcError, RpcTransport
+from repro.sim.events import AllOf
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+@dataclasses.dataclass
+class RedisOutcome:
+    result: typing.Any
+    fast_path: bool
+    sync_rpc_needed: bool
+    latency: float
+
+
+class RedisClient:
+    """One application client bound to one server."""
+
+    _next_client_id = 0
+
+    def __init__(self, host: "Host", server: str, mode: DurabilityMode,
+                 witnesses: typing.Sequence[str] = (),
+                 server_master_id: str | None = None,
+                 rpc_timeout: float = 5_000.0,
+                 collect_outcomes: bool = True):
+        RedisClient._next_client_id += 1
+        self.host = host
+        self.sim = host.sim
+        self.server = server
+        self.mode = mode
+        self.witnesses = list(witnesses)
+        self.server_master_id = server_master_id or f"redis:{server}"
+        self.rpc_timeout = rpc_timeout
+        self.transport = RpcTransport(host)
+        self.tracker = RiflClientTracker(RedisClient._next_client_id)
+        self.collect_outcomes = collect_outcomes
+        self.outcomes: list[RedisOutcome] = []
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, command: Command):
+        """Generator: run one command; returns a RedisOutcome."""
+        started = self.sim.now
+        if not command.is_write or self.mode is not DurabilityMode.CURP \
+                or not self.witnesses:
+            args = CommandArgs(command=command,
+                               rpc_id=(self.tracker.new_rpc()
+                                       if command.is_write else None),
+                               ack_seq=self.tracker.first_incomplete)
+            reply = yield self.transport.call(self.server, "command", args,
+                                              timeout=self.rpc_timeout)
+            if args.rpc_id is not None:
+                self.tracker.completed(args.rpc_id)
+            return self._finish(reply.result, started, fast=True,
+                                sync_rpc=False)
+        # CURP write: command + witness records in parallel.
+        rpc_id = self.tracker.new_rpc()
+        args = CommandArgs(command=command, rpc_id=rpc_id,
+                           ack_seq=self.tracker.first_incomplete)
+        record = RecordArgs(master_id=self.server_master_id,
+                            key_hashes=(key_hash(command.key),),
+                            rpc_id=rpc_id,
+                            request=RecordedRequest(op=command, rpc_id=rpc_id))
+        command_call = self.host.spawn(self._send_command(args),
+                                       name="redis-cmd")
+        record_calls = [self.host.spawn(self._record_on(w, record),
+                                        name="redis-record")
+                        for w in self.witnesses]
+        results = yield AllOf(self.sim, [command_call] + record_calls)
+        reply = results[command_call]
+        if isinstance(reply, Exception):
+            raise reply
+        accepted = all(results[c] for c in record_calls)
+        self.tracker.completed(rpc_id)
+        if reply.synced:
+            return self._finish(reply.result, started, fast=False,
+                                sync_rpc=False)
+        if accepted:
+            return self._finish(reply.result, started, fast=True,
+                                sync_rpc=False)
+        yield self.transport.call(self.server, "sync", None,
+                                  timeout=self.rpc_timeout)
+        return self._finish(reply.result, started, fast=False, sync_rpc=True)
+
+    def _send_command(self, args: CommandArgs):
+        try:
+            reply = yield self.transport.call(self.server, "command", args,
+                                              timeout=self.rpc_timeout)
+            return reply
+        except RpcError as error:
+            return error
+
+    def _record_on(self, witness: str, record: RecordArgs):
+        try:
+            result = yield self.transport.call(witness, "record", record,
+                                               timeout=self.rpc_timeout)
+            return result == RECORD_ACCEPTED
+        except RpcError:
+            return False
+
+    def _finish(self, result, started, fast: bool,
+                sync_rpc: bool) -> RedisOutcome:
+        outcome = RedisOutcome(result=result, fast_path=fast,
+                               sync_rpc_needed=sync_rpc,
+                               latency=self.sim.now - started)
+        self.completed += 1
+        if self.collect_outcomes:
+            self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: str):
+        return self.execute(Command("SET", (key, value)))
+
+    def get(self, key: str):
+        return self.execute(Command("GET", (key,)))
+
+    def incr(self, key: str):
+        return self.execute(Command("INCR", (key,)))
+
+    def hmset(self, key: str, mapping: dict):
+        return self.execute(Command("HMSET", (key, mapping)))

@@ -1,0 +1,355 @@
+"""The Redis-like server: a single-threaded event loop.
+
+The loop mirrors Redis's structure (§C.2): take everything waiting on
+the sockets, execute it all, then — in DURABLE mode — issue **one**
+fsync for the whole batch before replying to anyone.  That batching is
+why Figure 9's durable line approaches the non-durable line at high
+client counts, and why Figure 13 shows its latency growing linearly.
+
+Modes:
+
+- ``NONDURABLE`` — stock Redis: execute, reply, never fsync.
+  Everything since the last OS flush dies with the process.
+- ``DURABLE`` — fsync-always: the event loop blocks on one fsync per
+  cycle; replies only after the batch is durable (2-100× latency).
+- ``CURP`` — the paper's §5.4 system: execute, reply *immediately*
+  (speculative), fsync in the background; clients record commands on
+  witnesses in parallel.  Conflicting commands (touching a key whose
+  last write is not yet durable) wait for durability and are tagged
+  ``synced`` (§3.2.3); after each fsync the server garbage-collects
+  the newly-durable commands from its witnesses (§3.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.core.messages import GcArgs
+from repro.kvstore.hashing import key_hash
+from repro.redislike.aof import AppendOnlyFile, FsyncDevice
+from repro.redislike.commands import Command, CommandError, execute
+from repro.redislike.datastructures import RedisStore, WrongTypeError
+from repro.rifl import DuplicateState, ResultRegistry
+from repro.rpc import AppError, RpcError, RpcTransport
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+
+class DurabilityMode(enum.Enum):
+    NONDURABLE = "nondurable"
+    DURABLE = "durable"
+    CURP = "curp"
+
+
+@dataclasses.dataclass(frozen=True)
+class CommandArgs:
+    """Client → server frame."""
+
+    command: Command
+    rpc_id: typing.Any = None
+    ack_seq: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CommandReply:
+    result: typing.Any
+    #: True when the command was durable before this reply (§3.2.3 tag)
+    synced: bool
+
+
+@dataclasses.dataclass
+class RedisStats:
+    commands: int = 0
+    writes: int = 0
+    fsync_batches: int = 0
+    conflict_waits: int = 0
+    gc_rpcs: int = 0
+    loop_cycles: int = 0
+
+
+class RedisServer:
+    """One Redis-like server instance."""
+
+    def __init__(self, host: "Host", mode: DurabilityMode,
+                 device: FsyncDevice | None = None,
+                 witnesses: typing.Sequence[str] = (),
+                 execute_time: float = 0.5,
+                 curp_fsync_batch: int = 20,
+                 curp_idle_fsync_delay: float = 200.0,
+                 rpc_timeout: float = 2_000.0):
+        self.host = host
+        self.sim = host.sim
+        self.mode = mode
+        self.device = device or FsyncDevice(host)
+        self.aof = AppendOnlyFile(host, self.device)
+        self.store = RedisStore()
+        self.registry = ResultRegistry()
+        self.witnesses = list(witnesses)
+        self.execute_time = execute_time
+        self.curp_fsync_batch = curp_fsync_batch
+        self.curp_idle_fsync_delay = curp_idle_fsync_delay
+        self.rpc_timeout = rpc_timeout
+        self.stats = RedisStats()
+        #: last AOF seq that wrote each key (conflict detection, §4.3)
+        self._key_last_seq: dict[str, int] = {}
+        #: (seq, key_hash, rpc_id) awaiting witness gc once durable
+        self._pending_gc: list[tuple[int, int, typing.Any]] = []
+        self._queue: list[tuple[CommandArgs, typing.Any]] = []
+        self._wakeup = None
+        self._flush_armed = False
+        self.master_id = f"redis:{host.name}"
+
+        self.transport = RpcTransport(host)
+        self.transport.register("command", self._handle_command)
+        self.transport.register("sync", self._handle_sync)
+        self.aof.on_durable.append(self._after_fsync)
+        host.on_crash(self._on_crash)
+        self._loop_process = host.spawn(self._event_loop(), name="event-loop")
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def _handle_command(self, args: CommandArgs, ctx):
+        self._queue.append((args, ctx))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return RpcTransport.DEFERRED
+
+    def _handle_sync(self, args, ctx):
+        """CURP slow path: make everything appended so far durable."""
+        def work():
+            yield self.aof.request_durable(self.aof.end_seq)
+            return "SYNCED"
+        return work()
+
+    # ------------------------------------------------------------------
+    # the event loop (§C.2)
+    # ------------------------------------------------------------------
+    def _event_loop(self):
+        while True:
+            if not self._queue:
+                self._wakeup = self.sim.event()
+                yield self._wakeup
+                self._wakeup = None
+            batch, self._queue = self._queue, []
+            self.stats.loop_cycles += 1
+            replies: list[tuple[typing.Any, CommandReply | AppError]] = []
+            deferred: list[tuple[typing.Any, int, typing.Any]] = []
+            for args, ctx in batch:
+                if self.execute_time > 0:
+                    yield self.sim.timeout(self.execute_time)
+                outcome = self._execute_one(args)
+                if isinstance(outcome, _Deferred):
+                    deferred.append((ctx, outcome.seq, outcome.reply))
+                else:
+                    replies.append((ctx, outcome))
+            if self.mode is DurabilityMode.DURABLE and self.aof.end_seq \
+                    > self.aof.durable_seq:
+                # One fsync for the whole cycle — the §C.2 batching.
+                self.stats.fsync_batches += 1
+                yield self.aof.request_durable(self.aof.end_seq)
+            for ctx, outcome in replies:
+                if isinstance(outcome, AppError):
+                    ctx.reply_error(outcome.code, outcome.info)
+                else:
+                    ctx.reply(outcome)
+            for ctx, seq, reply in deferred:
+                # Conflict path (CURP): reply once durable, off-loop.
+                self.host.spawn(self._reply_when_durable(ctx, seq, reply),
+                                name="conflict-reply")
+            # CURP background durability scheduling.
+            if self.mode is DurabilityMode.CURP:
+                backlog = self.aof.end_seq - self.aof.durable_seq
+                if backlog >= self.curp_fsync_batch:
+                    self.aof.request_durable(self.aof.end_seq)
+                elif backlog > 0:
+                    self._arm_flush_timer()
+
+    def _reply_when_durable(self, ctx, seq: int, reply: CommandReply):
+        yield self.aof.request_durable(seq)
+        ctx.reply(reply)
+
+    # ------------------------------------------------------------------
+    # command execution
+    # ------------------------------------------------------------------
+    def _execute_one(self, args: CommandArgs):
+        command = args.command
+        self.stats.commands += 1
+        if args.rpc_id is not None:
+            self.registry.process_ack(args.rpc_id.client_id, args.ack_seq)
+            state, saved = self.registry.check(args.rpc_id)
+            if state is DuplicateState.COMPLETED:
+                record = self.registry.get(args.rpc_id)
+                synced = (record is None
+                          or record.log_position <= self.aof.durable_seq)
+                return CommandReply(result=saved, synced=synced)
+            if state is DuplicateState.STALE:
+                return AppError("STALE_RPC", {"rpc_id": str(args.rpc_id)})
+        try:
+            if not command.is_write:
+                # Reads of un-durable keys must wait (§3.2.3): same rule
+                # as the kvstore master.
+                if (self.mode is DurabilityMode.CURP
+                        and self._key_last_seq.get(command.key, 0)
+                        > self.aof.durable_seq):
+                    self.stats.conflict_waits += 1
+                    result = execute(self.store, command)
+                    return _Deferred(
+                        seq=self._key_last_seq[command.key],
+                        reply=CommandReply(result=result, synced=True))
+                result = execute(self.store, command)
+                return CommandReply(result=result, synced=True)
+            # Write command.
+            self.stats.writes += 1
+            conflict = (self.mode is DurabilityMode.CURP
+                        and self._key_last_seq.get(command.key, 0)
+                        > self.aof.durable_seq)
+            result = execute(self.store, command)
+            seq = self.aof.append(command, rpc_id=args.rpc_id, result=result)
+            self._key_last_seq[command.key] = seq
+            if args.rpc_id is not None:
+                self.registry.record(args.rpc_id, result, log_position=seq)
+                if self.mode is DurabilityMode.CURP and self.witnesses:
+                    self._pending_gc.append(
+                        (seq, key_hash(command.key), args.rpc_id))
+            if self.mode is DurabilityMode.CURP and conflict:
+                self.stats.conflict_waits += 1
+                return _Deferred(seq=seq,
+                                 reply=CommandReply(result=result, synced=True))
+            synced = self.mode is DurabilityMode.DURABLE
+            return CommandReply(result=result, synced=synced)
+        except (CommandError, WrongTypeError) as error:
+            return AppError("COMMAND_ERROR", str(error))
+
+    # ------------------------------------------------------------------
+    # CURP plumbing
+    # ------------------------------------------------------------------
+    def _arm_flush_timer(self) -> None:
+        if self._flush_armed or not self.host.alive:
+            return
+        self._flush_armed = True
+        incarnation = self.host.incarnation
+
+        def check() -> None:
+            self._flush_armed = False
+            if not self.host.alive or self.host.incarnation != incarnation:
+                return
+            if self.aof.durable_seq < self.aof.end_seq:
+                self.aof.request_durable(self.aof.end_seq)
+        self.sim.schedule_callback(self.curp_idle_fsync_delay, check)
+
+    def _after_fsync(self, durable_seq: int) -> None:
+        """Garbage collect newly-durable commands from witnesses (§3.5)."""
+        if self.mode is not DurabilityMode.CURP or not self.witnesses:
+            return
+        pairs = [(kh, rpc_id) for seq, kh, rpc_id in self._pending_gc
+                 if seq <= durable_seq]
+        self._pending_gc = [(seq, kh, rpc_id)
+                            for seq, kh, rpc_id in self._pending_gc
+                            if seq > durable_seq]
+        if not pairs:
+            return
+        self.host.spawn(self._gc_witnesses(tuple(pairs)), name="witness-gc")
+
+    def _gc_witnesses(self, pairs):
+        args = GcArgs(master_id=self.master_id, pairs=pairs)
+        for witness in self.witnesses:
+            self.stats.gc_rpcs += 1
+            try:
+                stale = yield self.transport.call(witness, "gc", args,
+                                                  timeout=self.rpc_timeout)
+            except RpcError:
+                continue
+            for request in stale:
+                self._retry_stale(request)
+
+    def _retry_stale(self, request) -> None:
+        """§4.5 for Redis: re-run an uncollected command through RIFL."""
+        state, _ = self.registry.check(request.rpc_id)
+        if state is DuplicateState.NEW:
+            try:
+                result = execute(self.store, request.op)
+            except (CommandError, WrongTypeError):
+                return
+            seq = self.aof.append(request.op, rpc_id=request.rpc_id,
+                                  result=result)
+            self._key_last_seq[request.op.key] = seq
+            self.registry.record(request.rpc_id, result, log_position=seq)
+            self._pending_gc.append(
+                (seq, key_hash(request.op.key), request.rpc_id))
+            self._arm_flush_timer()
+        else:
+            self._pending_gc.append(
+                (self.aof.durable_seq, key_hash(request.op.key),
+                 request.rpc_id))
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def _on_crash(self) -> None:
+        self._queue.clear()
+        self._wakeup = None
+        self._flush_armed = False
+        # Volatile state dies; the AOF handles its own truncation.
+        self.store = RedisStore()
+        self.registry = ResultRegistry()
+        self._key_last_seq.clear()
+        self._pending_gc.clear()
+
+    def recover(self, witnesses_for_replay: typing.Sequence[str] = ()):
+        """Generator: restart-time recovery — replay the durable AOF,
+        then replay witnesses (CURP mode), then fsync (§3.3 for the
+        Redis instantiation).  Run after ``host.restart()``."""
+        if not self.host.alive:
+            raise RuntimeError("restart the host before recover()")
+        for seq, command, rpc_id, result in self.aof.durable_entries():
+            execute(self.store, command)
+            self._key_last_seq[command.key] = seq
+            if rpc_id is not None:
+                self.registry.record(rpc_id, result, log_position=seq)
+        replayed = 0
+        if self.mode is DurabilityMode.CURP:
+            from repro.core.messages import GetRecoveryDataArgs
+            requests = None
+            for witness in witnesses_for_replay or self.witnesses:
+                try:
+                    requests = yield self.transport.call(
+                        witness, "get_recovery_data",
+                        GetRecoveryDataArgs(master_id=self.master_id),
+                        timeout=self.rpc_timeout)
+                    break
+                except RpcError:
+                    continue
+            if requests is None and (witnesses_for_replay or self.witnesses):
+                raise RuntimeError("no witness reachable for replay")
+            self.registry.begin_recovery()
+            try:
+                for request in requests or ():
+                    state, _ = self.registry.check(request.rpc_id)
+                    if state is not DuplicateState.NEW:
+                        continue
+                    result = execute(self.store, request.op)
+                    seq = self.aof.append(request.op, rpc_id=request.rpc_id,
+                                          result=result)
+                    self._key_last_seq[request.op.key] = seq
+                    self.registry.record(request.rpc_id, result,
+                                         log_position=seq)
+                    replayed += 1
+            finally:
+                self.registry.end_recovery()
+            if self.aof.end_seq > self.aof.durable_seq:
+                yield self.aof.request_durable(self.aof.end_seq)
+        self._loop_process = self.host.spawn(self._event_loop(),
+                                             name="event-loop")
+        return replayed
+
+
+@dataclasses.dataclass
+class _Deferred:
+    """Internal marker: reply once ``seq`` is durable."""
+
+    seq: int
+    reply: CommandReply

@@ -1,0 +1,44 @@
+"""Client-side RIFL bookkeeping: sequence numbers and acknowledgments."""
+
+from __future__ import annotations
+
+from repro.rifl.ids import RpcId
+
+
+class RiflClientTracker:
+    """Tracks one client's outstanding update RPCs.
+
+    ``first_incomplete`` is the smallest sequence number whose RPC the
+    client has not yet completed; it is piggybacked on every request so
+    servers can garbage collect completion records for everything below
+    it (paper §4.8).
+    """
+
+    def __init__(self, client_id: int):
+        self.client_id = client_id
+        self._next_seq = 0
+        self._outstanding: set[int] = set()
+
+    def new_rpc(self) -> RpcId:
+        """Allocate the id for a new update RPC."""
+        self._next_seq += 1
+        self._outstanding.add(self._next_seq)
+        return RpcId(self.client_id, self._next_seq)
+
+    def completed(self, rpc_id: RpcId) -> None:
+        """The RPC's result has been externalized to the application."""
+        if rpc_id.client_id != self.client_id:
+            raise ValueError(f"rpc {rpc_id} does not belong to client "
+                             f"{self.client_id}")
+        self._outstanding.discard(rpc_id.seq)
+
+    @property
+    def first_incomplete(self) -> int:
+        """Smallest seq not yet completed (= ack level to piggyback)."""
+        if not self._outstanding:
+            return self._next_seq + 1
+        return min(self._outstanding)
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)

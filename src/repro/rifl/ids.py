@@ -1,0 +1,21 @@
+"""Unique RPC identifiers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class RpcId:
+    """Identifies one linearizable RPC, globally and forever.
+
+    ``client_id`` is allocated by the lease server; ``seq`` increases by
+    one per update RPC issued by that client.  Ordering (lexicographic)
+    is meaningful only within one client.
+    """
+
+    client_id: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"{self.client_id}.{self.seq}"

@@ -1,0 +1,49 @@
+"""RPC error types."""
+
+from __future__ import annotations
+
+import typing
+
+
+class RpcError(Exception):
+    """Base class for everything the RPC layer can raise at a caller."""
+
+
+class RpcTimeout(RpcError):
+    """No response within the caller's deadline.
+
+    Indistinguishable (by design, §3.2.1) from a crashed server, a
+    dropped request or a dropped response — callers must retry, and
+    exactly-once semantics come from RIFL, not the transport.
+    """
+
+    def __init__(self, dst: str, method: str, timeout: float):
+        super().__init__(f"rpc {method} to {dst} timed out after {timeout}us")
+        self.dst = dst
+        self.method = method
+        self.timeout = timeout
+
+
+class AppError(RpcError):
+    """A typed application-level error that crosses the wire.
+
+    Handlers raise ``AppError(code, info)``; the transport serializes
+    the code and info and re-raises an equivalent AppError at the
+    caller.  CURP uses codes like ``WRONG_WITNESS_VERSION``, ``NOT_OWNER``
+    and ``WITNESS_IMMUTABLE``.
+    """
+
+    def __init__(self, code: str, info: typing.Any = None):
+        super().__init__(f"{code}: {info!r}")
+        self.code = code
+        self.info = info
+
+
+class RemoteError(RpcError):
+    """An unexpected exception escaped a server-side handler."""
+
+    def __init__(self, dst: str, method: str, description: str):
+        super().__init__(f"remote error in {method} at {dst}: {description}")
+        self.dst = dst
+        self.method = method
+        self.description = description

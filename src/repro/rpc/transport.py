@@ -1,0 +1,212 @@
+"""Request/response transport bound to one host.
+
+One :class:`RpcTransport` per host.  Handlers are registered per method
+name and may be:
+
+- plain functions ``handler(args, ctx) -> value`` — the return value is
+  the reply, or
+- generator functions that yield simulator events (e.g. a master
+  handler that executes, replies early via ``ctx.reply``, then yields on
+  the backup sync).  The generator runs as a host process, so it dies
+  if the host crashes mid-handler — exactly the failure CURP recovery
+  has to cope with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import typing
+
+from repro.net.host import Host
+from repro.rpc.errors import AppError, RemoteError, RpcTimeout
+from repro.sim.events import Event
+
+
+@dataclasses.dataclass(frozen=True)
+class RpcRequest:
+    seq: int
+    reply_to: str
+    method: str
+    args: typing.Any
+
+
+@dataclasses.dataclass(frozen=True)
+class RpcResponse:
+    seq: int
+    ok: bool
+    value: typing.Any = None
+    error_code: str | None = None
+    error_info: typing.Any = None
+
+
+class RpcContext:
+    """Handed to handlers: request metadata + the early-reply hook."""
+
+    def __init__(self, transport: "RpcTransport", request: RpcRequest,
+                 response_size: int):
+        self._transport = transport
+        self._request = request
+        self._response_size = response_size
+        self.replied = False
+        #: source host name of the request
+        self.src = request.reply_to
+
+    def reply(self, value: typing.Any = None) -> None:
+        """Send the response now; the handler may keep running."""
+        if self.replied:
+            raise RuntimeError("reply() called twice")
+        self.replied = True
+        self._transport._respond(
+            self._request,
+            RpcResponse(seq=self._request.seq, ok=True, value=value),
+            self._response_size)
+
+    def reply_error(self, code: str, info: typing.Any = None) -> None:
+        if self.replied:
+            raise RuntimeError("reply() called twice")
+        self.replied = True
+        self._transport._respond(
+            self._request,
+            RpcResponse(seq=self._request.seq, ok=False,
+                        error_code=code, error_info=info),
+            self._response_size)
+
+
+class RpcTransport:
+    """RPC endpoint for a single host."""
+
+    #: wire size (bytes) charged per request/response when unspecified;
+    #: roughly a 100 B object write plus headers, per the paper's workloads
+    DEFAULT_SIZE = 130
+
+    #: sentinel a handler may return to take ownership of replying later
+    #: (e.g. an event-loop server that batches replies across requests)
+    DEFERRED = object()
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.sim = host.sim
+        self._handlers: dict[str, typing.Callable] = {}
+        self._pending: dict[int, Event] = {}
+        self._next_seq = 0
+        host.set_message_handler(self._on_message)
+        host.on_crash(self._on_crash)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def call(self, dst: str, method: str, args: typing.Any = None,
+             timeout: float | None = None,
+             request_size: int | None = None) -> Event:
+        """Send a request; returns an event for the response value.
+
+        The event fails with :class:`RpcTimeout` if no response arrives
+        within ``timeout`` µs, with :class:`AppError` if the handler
+        raised one, or with :class:`RemoteError` on unexpected handler
+        exceptions.
+        """
+        self._next_seq += 1
+        seq = self._next_seq
+        result = Event(self.sim)
+        self._pending[seq] = result
+        request = RpcRequest(seq=seq, reply_to=self.host.name,
+                             method=method, args=args)
+        self.host.send(dst, request, size_bytes=request_size or self.DEFAULT_SIZE)
+        if timeout is not None:
+            def expire() -> None:
+                pending = self._pending.pop(seq, None)
+                if pending is not None and not pending.triggered:
+                    pending.fail(RpcTimeout(dst, method, timeout))
+            self.sim.schedule_callback(timeout, expire)
+        return result
+
+    def _on_crash(self) -> None:
+        # In-flight calls die with the host; waiting processes were
+        # interrupted by Host.crash already, so just drop the futures.
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def register(self, method: str, handler: typing.Callable) -> None:
+        """Register ``handler(args, ctx)`` for a method name."""
+        if method in self._handlers:
+            raise ValueError(f"handler already registered for {method}")
+        self._handlers[method] = handler
+
+    def unregister(self, method: str) -> None:
+        self._handlers.pop(method, None)
+
+    def _respond(self, request: RpcRequest, response: RpcResponse,
+                 size: int) -> None:
+        self.host.send(request.reply_to, response, size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # message pump
+    # ------------------------------------------------------------------
+    def _on_message(self, message: typing.Any) -> None:
+        payload = message.payload
+        if isinstance(payload, RpcRequest):
+            self._handle_request(payload)
+        elif isinstance(payload, RpcResponse):
+            self._handle_response(payload)
+        # anything else: not RPC traffic; ignore
+
+    def _handle_request(self, request: RpcRequest) -> None:
+        handler = self._handlers.get(request.method)
+        ctx = RpcContext(self, request, response_size=self.DEFAULT_SIZE)
+        if handler is None:
+            ctx.reply_error("NO_SUCH_METHOD", request.method)
+            return
+        try:
+            outcome = handler(request.args, ctx)
+        except AppError as error:
+            if not ctx.replied:
+                ctx.reply_error(error.code, error.info)
+            return
+        except Exception as error:  # noqa: BLE001 - serialize to caller
+            if not ctx.replied:
+                ctx.reply_error("REMOTE_ERROR", f"{type(error).__name__}: {error}")
+            return
+        if outcome is RpcTransport.DEFERRED:
+            return
+        if inspect.isgenerator(outcome):
+            self._run_handler_process(outcome, ctx, request)
+        elif not ctx.replied:
+            ctx.reply(outcome)
+
+    def _run_handler_process(self, generator: typing.Generator,
+                             ctx: RpcContext, request: RpcRequest) -> None:
+        process = self.host.spawn(generator, name=f"rpc:{request.method}")
+
+        def finish(event: Event) -> None:
+            if ctx.replied:
+                return
+            if event.ok:
+                ctx.reply(event._value)
+            else:
+                error = event.exception
+                if isinstance(error, AppError):
+                    ctx.reply_error(error.code, error.info)
+                else:
+                    # Host crash interrupts leave no reply — the caller
+                    # times out, as with a real crashed server.
+                    from repro.sim.processes import Interrupt
+                    if not isinstance(error, Interrupt):
+                        ctx.reply_error("REMOTE_ERROR",
+                                        f"{type(error).__name__}: {error}")
+        process.add_callback(finish)
+
+    def _handle_response(self, response: RpcResponse) -> None:
+        result = self._pending.pop(response.seq, None)
+        if result is None or result.triggered:
+            return  # timed out or duplicate
+        if response.ok:
+            result.succeed(response.value)
+        else:
+            if response.error_code == "REMOTE_ERROR":
+                result.fail(RemoteError(self.host.name, "?", str(response.error_info)))
+            else:
+                result.fail(AppError(response.error_code or "UNKNOWN",
+                                     response.error_info))

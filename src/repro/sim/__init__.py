@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate.
+
+Everything in this repository — the network fabric, RPC layer, CURP
+protocol, storage systems and benchmarks — runs on top of this package.
+It provides:
+
+- :class:`~repro.sim.simulator.Simulator`: the virtual clock and event
+  queue.
+- :class:`~repro.sim.events.Event` and combinators
+  (:class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`).
+- :class:`~repro.sim.processes.Process`: generator-based cooperative
+  processes (``yield sim.timeout(...)`` style).
+- :class:`~repro.sim.resources.Resource`: counted resources used to
+  model worker pools, NICs and disks.
+- Latency distributions in :mod:`repro.sim.distributions`.
+
+The design follows the classic SimPy process model, implemented from
+scratch so the repository has no external runtime dependencies.  All
+randomness flows through a single seeded :class:`random.Random` owned by
+the simulator, so every experiment is reproducible bit-for-bit.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, EventFailed
+from repro.sim.processes import Interrupt, Process
+from repro.sim.resources import Resource
+from repro.sim.simulator import Simulator
+from repro.sim.distributions import (
+    Distribution,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Shifted,
+    Uniform,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Distribution",
+    "Event",
+    "EventFailed",
+    "Exponential",
+    "Fixed",
+    "Interrupt",
+    "LogNormal",
+    "Process",
+    "Resource",
+    "Shifted",
+    "Simulator",
+    "Uniform",
+]

@@ -1,0 +1,144 @@
+"""The simulator: virtual clock + event queue.
+
+Time is a float; the repository convention is **microseconds**, matching
+the paper's latency scale.  The queue is a binary heap ordered by
+``(time, sequence)`` where the sequence number makes scheduling order a
+deterministic tiebreaker — two events at the same instant dispatch in
+the order they were scheduled.  Combined with a single seeded RNG this
+makes whole-cluster experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.processes import Process, ProcessGenerator
+
+
+class Simulator:
+    """Event queue, virtual clock and the root of all randomness."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        #: when True (default) a crashing process fails its Process event
+        #: instead of propagating out of run(); tests may disable it.
+        self.capture_process_errors = True
+        self._queue: list[tuple[float, int, typing.Any]] = []
+        self._sequence = 0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A manually-triggered event (a future)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """An event that triggers ``delay`` µs from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str | None = None) -> Process:
+        """Start a cooperative process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling internals
+    # ------------------------------------------------------------------
+    def _push(self, at: float, item: typing.Any) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (at, self._sequence, item))
+
+    def schedule_callback(self, delay: float, fn: typing.Callable[[], None]) -> None:
+        """Low-level: run ``fn()`` after ``delay`` µs."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._push(self.now + delay, fn)
+
+    def _schedule_timeout(self, event: Timeout, delay: float, value: typing.Any) -> None:
+        def fire() -> None:
+            event._triggered = True
+            event._value = value
+            event._dispatch()
+        self._push(self.now + delay, fire)
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Queue callback dispatch for an event triggered at `now`."""
+        self._push(self.now, event._dispatch)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch one queue entry; False when the queue is empty."""
+        if not self._queue:
+            return False
+        at, _seq, item = heapq.heappop(self._queue)
+        if at < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("time went backwards")
+        self.now = at
+        self._processed += 1
+        item()
+        return True
+
+    def run(self, until: float | Event | None = None,
+            max_steps: int | None = None) -> typing.Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - None: run until the queue drains.
+        - a float: run until the clock reaches that time (clock is set to
+          ``until`` on return even if the queue drained earlier).
+        - an :class:`Event`: run until the event triggers, and return its
+          value (or raise its failure).  Raises ``RuntimeError`` if the
+          queue drains first — that means deadlock.
+        """
+        steps = 0
+        if isinstance(until, Event):
+            while not until.triggered:
+                if not self.step():
+                    raise RuntimeError(
+                        f"simulation deadlocked waiting for {until!r}")
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    raise RuntimeError(f"exceeded max_steps={max_steps}")
+            return until.value
+        if until is None:
+            while self.step():
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    raise RuntimeError(f"exceeded max_steps={max_steps}")
+            return None
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError(f"until={deadline} is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                raise RuntimeError(f"exceeded max_steps={max_steps}")
+        self.now = deadline
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now} queue={len(self._queue)}>"

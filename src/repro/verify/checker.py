@@ -1,0 +1,105 @@
+"""Wing & Gong linearizability search with per-key partitioning.
+
+An operation may be linearized next iff its invocation happened before
+the earliest completion among the not-yet-linearized *completed*
+operations (otherwise that earlier-completing operation must come
+first).  The search walks all such orders, executing the sequential
+model and pruning states it has already seen (the WGL memoization).
+
+Pending operations (client crashed / never saw the response):
+
+- pending **mutations** may be linearized anywhere after invocation or
+  dropped entirely — both must be explored, because a crashed client's
+  write may or may not have taken effect (§3.4 of the paper: "if the
+  client crashes before externalizing the result, the RPC may or may
+  not finish");
+- pending **reads** are always dropped (they externalized nothing and
+  constrain nothing);
+- results of pending operations are unconstrained (the model skips the
+  result check for them).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.verify.history import History, OpRecord
+from repro.verify.models import RegisterModel
+
+
+class LinearizabilityError(AssertionError):
+    """The history admits no valid linearization."""
+
+    def __init__(self, key: str, records: list[OpRecord], detail: str = ""):
+        lines = [f"history for key {key!r} is not linearizable. {detail}"]
+        for op in sorted(records, key=lambda r: r.invoked_at):
+            end = "pending" if op.is_pending else f"{op.completed_at:.1f}"
+            lines.append(
+                f"  client={op.client} {op.kind}({op.argument!r}) -> "
+                f"{op.result!r} [{op.invoked_at:.1f}, {end}]")
+        super().__init__("\n".join(lines))
+        self.key = key
+
+
+class CheckerLimitExceeded(RuntimeError):
+    """The search state budget was exhausted (result inconclusive)."""
+
+
+_INFINITY = float("inf")
+
+
+def check_linearizable(history: History, model=RegisterModel,
+                       max_states: int = 2_000_000) -> None:
+    """Raise :class:`LinearizabilityError` if any per-key subhistory is
+    non-linearizable.  ``model`` provides the sequential semantics."""
+    for key, records in history.by_key().items():
+        _check_key(key, records, model, max_states)
+
+
+def _check_key(key: str, records: list[OpRecord], model,
+               max_states: int) -> None:
+    # Pending reads constrain nothing: drop them outright.
+    ops = [r for r in records
+           if not (r.is_pending and r.kind == "read")]
+    if not ops:
+        return
+    ops.sort(key=lambda r: r.invoked_at)
+    completion = [(_INFINITY if op.is_pending else op.completed_at)
+                  for op in ops]
+    must_linearize = frozenset(
+        i for i, op in enumerate(ops) if not op.is_pending)
+    all_must = sum(1 << i for i in must_linearize)
+
+    initial_state = model.initial
+    stack: list[tuple[int, typing.Any]] = [(0, initial_state)]
+    seen: set[tuple[int, typing.Any]] = {(0, initial_state)}
+    states_visited = 0
+
+    while stack:
+        mask, state = stack.pop()
+        if mask & all_must == all_must:
+            return  # every completed op linearized; pending rest dropped
+        states_visited += 1
+        if states_visited > max_states:
+            raise CheckerLimitExceeded(
+                f"exceeded {max_states} states checking key {key!r}")
+        # Earliest completion among unlinearized completed ops bounds
+        # which operations may be linearized next.
+        bound = _INFINITY
+        for i, op in enumerate(ops):
+            if not (mask >> i) & 1 and completion[i] < bound:
+                bound = completion[i]
+        for i, op in enumerate(ops):
+            if (mask >> i) & 1:
+                continue
+            if op.invoked_at > bound:
+                break  # ops sorted by invocation: rest also too late
+            ok, new_state = model.apply(state, op,
+                                        check_result=not op.is_pending)
+            if not ok:
+                continue
+            entry = (mask | (1 << i), new_state)
+            if entry not in seen:
+                seen.add(entry)
+                stack.append(entry)
+    raise LinearizabilityError(key, records)

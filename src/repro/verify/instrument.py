@@ -1,0 +1,58 @@
+"""History-collecting client wrapper.
+
+Wraps a :class:`~repro.core.client.CurpClient` so every operation is
+recorded as an invoke/response pair in a :class:`History`.  Operations
+that never complete (client crash, retries exhausted) stay *pending*,
+which the checker treats as may-or-may-not-have-happened — exactly the
+paper's §3.4 reading of a client crash.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.client import ClientGaveUp, CurpClient
+from repro.kvstore.operations import Increment, Operation, Read, Write
+from repro.verify.history import History, OpRecord
+
+
+class HistoryClient:
+    """Records every operation a client performs into a shared history."""
+
+    def __init__(self, client: CurpClient, history: History):
+        self.client = client
+        self.history = history
+        self.sim = client.sim
+
+    def _begin(self, op: Operation) -> OpRecord:
+        if isinstance(op, Write):
+            return self.history.begin(self.client.tracker.client_id,
+                                      op.key, "write", op.value, self.sim.now)
+        if isinstance(op, Increment):
+            return self.history.begin(self.client.tracker.client_id,
+                                      op.key, "increment", op.delta,
+                                      self.sim.now)
+        if isinstance(op, Read):
+            return self.history.begin(self.client.tracker.client_id,
+                                      op.key, "read", None, self.sim.now)
+        raise TypeError(f"unsupported op for history: {op!r}")
+
+    def update(self, op: Operation):
+        """Generator: perform + record an update; pending on give-up."""
+        record = self._begin(op)
+        try:
+            outcome = yield from self.client.update(op)
+        except ClientGaveUp:
+            return None  # stays pending
+        self.history.complete(record, outcome.result, self.sim.now)
+        return outcome
+
+    def read(self, key: str):
+        """Generator: perform + record a linearizable read."""
+        record = self._begin(Read(key))
+        try:
+            value = yield from self.client.read(key)
+        except ClientGaveUp:
+            return None
+        self.history.complete(record, value, self.sim.now)
+        return value

@@ -1,0 +1,57 @@
+"""Sequential specifications for the checker."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.verify.history import OpRecord
+
+
+class RegisterModel:
+    """A single read/write register (one KV-store key).
+
+    State is the current value (None = never written).  ``apply``
+    returns (ok, new_state): ok is False when the observed result is
+    inconsistent with the state — the candidate linearization dies.
+    ``check_result=False`` is used for pending operations whose result
+    was never observed.
+    """
+
+    initial: typing.Any = None
+
+    @staticmethod
+    def apply(state: typing.Any, op: OpRecord,
+              check_result: bool = True) -> tuple[bool, typing.Any]:
+        if op.kind == "write":
+            return True, op.argument
+        if op.kind == "read":
+            if not check_result:
+                return True, state
+            return op.result == state, state
+        raise ValueError(f"register model cannot apply {op.kind!r}")
+
+
+class CounterModel:
+    """An integer counter with reads and increments-returning-new-value
+    (the INCR shape; exercises exactly-once semantics sharply — a
+    double-applied increment is immediately non-linearizable)."""
+
+    initial: int = 0
+
+    @staticmethod
+    def apply(state: int, op: OpRecord,
+              check_result: bool = True) -> tuple[bool, int]:
+        if op.kind == "increment":
+            new_state = (state or 0) + op.argument
+            if not check_result:
+                return True, new_state
+            return op.result == new_state, new_state
+        if op.kind == "read":
+            if not check_result:
+                return True, state
+            expected = 0 if state is None else state
+            observed = 0 if op.result is None else op.result
+            return observed == expected, state
+        if op.kind == "write":
+            return True, op.argument
+        raise ValueError(f"counter model cannot apply {op.kind!r}")

@@ -1,0 +1,32 @@
+"""Workload generators.
+
+The paper evaluates with sequential/random 100 B writes and with the
+YCSB-A and YCSB-B mixes over a highly-skewed Zipfian key distribution
+(θ=0.99, 1M objects — §5.3).  This package implements the YCSB
+generators from scratch:
+
+- :class:`~repro.workload.zipfian.ZipfianGenerator` — the Gray et al.
+  algorithm YCSB uses (constant-time sampling after an O(N) zeta
+  precomputation), plus the scrambled variant that decorrelates rank
+  from key id.
+- :class:`~repro.workload.ycsb.YcsbWorkload` — A/B mixes (50/50 and
+  95/5 read/update) producing operations for the kvstore vocabulary.
+- :mod:`~repro.workload.clients` — closed-loop client processes that
+  drive a cluster and feed the latency/throughput recorders.
+"""
+
+from repro.workload.zipfian import ScrambledZipfian, UniformGenerator, ZipfianGenerator
+from repro.workload.ycsb import YCSB_A, YCSB_B, YCSB_WRITE_ONLY, YcsbWorkload
+from repro.workload.clients import ClosedLoopClient, run_closed_loop
+
+__all__ = [
+    "ClosedLoopClient",
+    "ScrambledZipfian",
+    "UniformGenerator",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_WRITE_ONLY",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "run_closed_loop",
+]

@@ -1,0 +1,90 @@
+"""Closed-loop workload clients.
+
+Each client repeatedly issues the next operation and waits for it to
+complete ("back to back", as in Figures 6 and 9), recording latency per
+op.  ``run_closed_loop`` drives N of them for a measured window and
+returns aggregate throughput — the harness behind every throughput
+figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.client import CurpClient
+from repro.kvstore.operations import Operation, Read
+from repro.metrics.stats import LatencyRecorder
+from repro.workload.ycsb import YcsbOpStream, YcsbWorkload
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.builder import Cluster
+
+
+@dataclasses.dataclass
+class ClosedLoopClient:
+    """One client process issuing operations back to back."""
+
+    client: CurpClient
+    stream: YcsbOpStream
+    write_latency: LatencyRecorder
+    read_latency: LatencyRecorder
+    operations: int = 0
+    #: set False to stop the loop at the next op boundary
+    running: bool = True
+
+    def loop(self, max_ops: int | None = None):
+        """Generator: the client's main loop."""
+        sim = self.client.sim
+        rng = sim.rng
+        while self.running and (max_ops is None or self.operations < max_ops):
+            op = self.stream.next_op(rng)
+            started = sim.now
+            if isinstance(op, Read):
+                yield from self.client.read(op.key)
+                self.read_latency.record(sim.now - started)
+            else:
+                yield from self.client.update(op)
+                self.write_latency.record(sim.now - started)
+            self.operations += 1
+
+
+def run_closed_loop(cluster: "Cluster", workload: YcsbWorkload,
+                    n_clients: int, duration: float,
+                    warmup: float = 0.0,
+                    collect_outcomes: bool = False) -> dict:
+    """Drive ``n_clients`` for ``duration`` µs; return aggregate stats.
+
+    Returns a dict with ``throughput`` (ops/s across clients, measured
+    after ``warmup``), and ``write_latency`` / ``read_latency``
+    recorders.
+    """
+    write_latency = LatencyRecorder()
+    read_latency = LatencyRecorder()
+    loops: list[ClosedLoopClient] = []
+    for _ in range(n_clients):
+        client = cluster.new_client(collect_outcomes=collect_outcomes)
+        loop = ClosedLoopClient(client=client, stream=workload.generator(),
+                                write_latency=write_latency,
+                                read_latency=read_latency)
+        loops.append(loop)
+    for loop in loops:
+        loop.client.host.spawn(loop.loop(), name="workload")
+    if warmup > 0:
+        cluster.sim.run(until=cluster.sim.now + warmup)
+        for loop in loops:
+            loop.operations = 0
+        write_latency.reset()
+        read_latency.reset()
+    start = cluster.sim.now
+    cluster.sim.run(until=start + duration)
+    for loop in loops:
+        loop.running = False
+    elapsed = cluster.sim.now - start
+    total_ops = sum(loop.operations for loop in loops)
+    return {
+        "throughput": total_ops / (elapsed / 1e6),  # ops per second
+        "operations": total_ops,
+        "write_latency": write_latency,
+        "read_latency": read_latency,
+    }

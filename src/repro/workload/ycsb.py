@@ -1,0 +1,78 @@
+"""YCSB workload mixes (Cooper et al., SoCC'10), as used in §5.3.
+
+- YCSB-A: 50% reads / 50% updates, Zipfian θ=0.99.
+- YCSB-B: 95% reads /  5% updates, Zipfian θ=0.99.
+
+The paper measures *write* latency under these mixes (Figure 7) on 1M
+objects with 100 B values; our generators default to the same but every
+knob is a parameter so CI-speed benches can shrink the key space.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.kvstore.operations import Operation, Read, Write
+from repro.workload.zipfian import ScrambledZipfian, UniformGenerator
+
+
+@dataclasses.dataclass(frozen=True)
+class YcsbWorkload:
+    """A read/update mix over a keyed value space."""
+
+    name: str
+    read_fraction: float
+    item_count: int = 1_000_000
+    value_size: int = 100
+    theta: float = 0.99
+    #: "zipfian" or "uniform"
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.distribution not in ("zipfian", "uniform"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    def generator(self) -> "YcsbOpStream":
+        return YcsbOpStream(self)
+
+
+class YcsbOpStream:
+    """A stateful stream of operations for one workload."""
+
+    def __init__(self, workload: YcsbWorkload):
+        self.workload = workload
+        if workload.distribution == "zipfian":
+            self._chooser = ScrambledZipfian(workload.item_count,
+                                             workload.theta)
+        else:
+            self._chooser = UniformGenerator(workload.item_count)
+        self._value = "v" * workload.value_size
+
+    def key(self, rng: random.Random) -> str:
+        return f"user{self._chooser.next(rng)}"
+
+    def next_op(self, rng: random.Random) -> Operation:
+        key = self.key(rng)
+        if rng.random() < self.workload.read_fraction:
+            return Read(key)
+        return Write(key, self._value)
+
+    def next_update(self, rng: random.Random) -> Operation:
+        """An update regardless of the mix (write-latency figures)."""
+        return Write(self.key(rng), self._value)
+
+
+def scaled(workload: YcsbWorkload, item_count: int) -> YcsbWorkload:
+    """The same mix over a smaller key space (CI-speed benches)."""
+    return dataclasses.replace(workload, item_count=item_count)
+
+
+YCSB_A = YcsbWorkload(name="YCSB-A", read_fraction=0.5)
+YCSB_B = YcsbWorkload(name="YCSB-B", read_fraction=0.95)
+#: sequential-writer microbenchmark shape (Figures 5, 6, 12)
+YCSB_WRITE_ONLY = YcsbWorkload(name="write-only", read_fraction=0.0,
+                               distribution="uniform")

@@ -1,0 +1,75 @@
+"""Tests for the baseline config factories and baseline semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    async_replication_config,
+    curp_config,
+    primary_backup_config,
+    unreplicated_config,
+)
+from repro.core.config import ReplicationMode
+from repro.harness import build_cluster
+from repro.kvstore import Write
+
+
+def test_factory_modes():
+    assert unreplicated_config().mode is ReplicationMode.UNREPLICATED
+    assert primary_backup_config(2).mode is ReplicationMode.SYNC
+    assert async_replication_config(1).mode is ReplicationMode.ASYNC
+    assert curp_config(3).mode is ReplicationMode.CURP
+
+
+def test_factory_f_values():
+    assert unreplicated_config().f == 0
+    assert primary_backup_config(2).f == 2
+    assert curp_config(1).f == 1
+
+
+def test_factories_accept_overrides():
+    config = curp_config(3, min_sync_batch=7, rpc_timeout=123.0)
+    assert config.min_sync_batch == 7
+    assert config.rpc_timeout == 123.0
+
+
+def test_unreplicated_rejects_nonzero_f():
+    with pytest.raises(ValueError):
+        unreplicated_config(f=2)
+
+
+def test_sync_baseline_is_durable_before_reply():
+    """Primary-backup: by the time the client completes, every backup
+    has the update — crash-safety without witnesses."""
+    cluster = build_cluster(primary_backup_config(3))
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", "v")))
+    for backup_name in cluster.backup_hosts["m0"]:
+        backup = cluster.coordinator.backup_servers[backup_name]
+        assert backup._values.get("k") == "v"
+
+
+def test_async_baseline_is_not_durable_before_reply():
+    cluster = build_cluster(async_replication_config(3, min_sync_batch=50))
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", "v")))
+    undurable = sum(
+        1 for name in cluster.backup_hosts["m0"]
+        if cluster.coordinator.backup_servers[name]._values.get("k") != "v")
+    assert undurable == 3  # acknowledged but nowhere replicated yet
+
+
+def test_latency_ordering_of_all_systems():
+    """unreplicated <= async ~= curp << sync, in the exact-RTT profile."""
+    medians = {}
+    for name, config in (("unrep", unreplicated_config()),
+                         ("async", async_replication_config(3)),
+                         ("curp", curp_config(3)),
+                         ("sync", primary_backup_config(3))):
+        cluster = build_cluster(config)
+        client = cluster.new_client()
+        outcome = cluster.run(client.update(Write("a", 1)))
+        medians[name] = outcome.latency
+    assert medians["unrep"] == medians["async"] == medians["curp"] == 4.0
+    assert medians["sync"] == 8.0  # exactly one extra RTT

@@ -1,0 +1,214 @@
+"""Tests for the cluster coordinator: config, reconfiguration (§3.6),
+migration, spares."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.harness import build_cluster
+from repro.kvstore import ConditionalWrite, Write, key_hash
+
+
+def curp_cluster(**kwargs):
+    defaults = dict(f=3, mode=ReplicationMode.CURP, min_sync_batch=50,
+                    idle_sync_delay=200.0, retry_backoff=10.0,
+                    rpc_timeout=100.0)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults))
+
+
+def test_view_contains_tablets_and_masters():
+    cluster = build_cluster(CurpConfig(f=1, mode=ReplicationMode.CURP),
+                            n_masters=2)
+    view = cluster.coordinator.current_view()
+    assert len(view.tablets) == 2
+    assert set(view.masters) == {"m0", "m1"}
+    # Every hash resolves to exactly one master.
+    for h in (0, 2 ** 63, 2 ** 64 - 1):
+        assert view.master_for_hash(h) in {"m0", "m1"}
+
+
+def test_two_masters_route_by_hash():
+    cluster = build_cluster(CurpConfig(f=1, mode=ReplicationMode.CURP),
+                            n_masters=2)
+    client = cluster.new_client()
+    for i in range(10):
+        cluster.run(client.update(Write(f"key-{i}", i)))
+    m0 = cluster.master("m0").stats.updates
+    m1 = cluster.master("m1").stats.updates
+    assert m0 + m1 == 10
+    assert m0 > 0 and m1 > 0  # hashes spread across both
+
+
+def test_register_client_allocates_leases():
+    cluster = curp_cluster()
+    a, b = cluster.new_client(), cluster.new_client()
+    assert a.tracker.client_id != b.tracker.client_id
+    assert not cluster.coordinator.lease_server.is_expired(
+        a.tracker.client_id)
+
+
+def test_replace_witness_full_flow():
+    """§3.6: new witness started, master syncs before adopting, version
+    bumped, old witness out of the list."""
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    assert cluster.master().unsynced_count == 1
+    old = cluster.witness_hosts["m0"][1]
+    cluster.network.hosts[old].crash()
+    spare = cluster.add_host("w-spare", role="witness")
+    new_list = cluster.run(cluster.sim.process(
+        cluster.coordinator.replace_witness("m0", old, spare)))
+    assert "w-spare" in new_list and old not in new_list
+    # The master synced before acknowledging the new list.
+    assert cluster.master().unsynced_count == 0
+    assert cluster.master().witness_list_version == 1
+    managed = cluster.coordinator.masters["m0"]
+    assert managed.witnesses == new_list
+    # And the system keeps acceptng 1-RTT updates with the new witness.
+    outcome = cluster.run(client.update(Write("b", 2)))
+    assert outcome.fast_path
+
+
+def test_stale_client_cannot_complete_via_old_witnesses():
+    """§3.6 consistency argument: after a witness swap, a client using
+    the old list must be bounced (WRONG_WITNESS_VERSION), not allowed
+    to complete against decommissioned witnesses."""
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    old = cluster.witness_hosts["m0"][0]
+    spare = cluster.add_host("w-spare", role="witness")
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.replace_witness("m0", old, spare)))
+    # The client still has the version-0 view; its next update must
+    # take 2 attempts (error + refreshed retry), never completing with
+    # the stale witness set.
+    outcome = cluster.run(client.update(Write("b", 2)))
+    assert outcome.attempts == 2
+    assert client.view.masters["m0"].witness_list_version == 1
+
+
+def test_replace_backup_brings_newcomer_up_to_date():
+    cluster = curp_cluster(min_sync_batch=1, idle_sync_delay=50.0)
+    client = cluster.new_client()
+    for i in range(5):
+        cluster.run(client.update(Write(f"k{i}", i)))
+    cluster.settle(1_000.0)
+    dead = cluster.backup_hosts["m0"][2]
+    cluster.network.hosts[dead].crash()
+    spare = cluster.add_host("b-spare", role="backup")
+    new_list = cluster.run(cluster.sim.process(
+        cluster.coordinator.replace_backup("m0", dead, spare)),
+        timeout=1_000_000.0)
+    assert "b-spare" in new_list
+    newcomer = cluster.coordinator.backup_servers["b-spare"]
+    assert newcomer.entry_count() == cluster.master().store.log.end
+    # Further writes replicate to the newcomer.
+    cluster.run(client.update(Write("after", 9)))
+    cluster.settle(1_000.0)
+    assert newcomer._values["after"] == 9
+
+
+def test_migration_moves_range_and_versions():
+    cluster = build_cluster(CurpConfig(
+        f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+        idle_sync_delay=200.0, rpc_timeout=100.0), n_masters=2)
+    client = cluster.new_client()
+    # Find a key owned by m0 and bump its version to 3.
+    key = next(f"key-{i}" for i in range(100)
+               if cluster.coordinator.current_view().master_for_hash(
+                   key_hash(f"key-{i}")) == "m0")
+    for value in range(3):
+        cluster.run(client.update(Write(key, value)))
+    h = key_hash(key)
+    moved = cluster.run(cluster.sim.process(
+        cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+        timeout=1_000_000.0)
+    assert moved == 1
+    assert cluster.coordinator.current_view().master_for_hash(h) == "m1"
+    # The version travelled with the object: CAS against version 3 works.
+    outcome = cluster.run(client.update(
+        ConditionalWrite(key, "migrated", expected_version=3)))
+    assert outcome.result[0] == "OK"
+    assert cluster.master("m1").store.read(key) == "migrated"
+    # Old master rejects; a client with a stale view just retries.
+    assert not cluster.master("m0").owns_hash(h)
+
+
+def test_migration_resets_source_witnesses():
+    """§3.6: witnesses are ruled out of migration — the source syncs
+    and resets them before the final step."""
+    cluster = build_cluster(CurpConfig(
+        f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+        idle_sync_delay=10_000.0, rpc_timeout=100.0), n_masters=2)
+    client = cluster.new_client()
+    key = next(f"key-{i}" for i in range(100)
+               if cluster.coordinator.current_view().master_for_hash(
+                   key_hash(f"key-{i}")) == "m0")
+    cluster.run(client.update(Write(key, 1)))
+    witness = cluster.coordinator.witness_servers[
+        cluster.witness_hosts["m0"][0]]
+    assert witness.cache.occupied_slots() == 1
+    h = key_hash(key)
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+        timeout=1_000_000.0)
+    assert witness.cache.occupied_slots() == 0
+    assert cluster.coordinator.masters["m0"].witness_list_version == 1
+    assert cluster.master("m0").unsynced_count == 0
+
+
+def test_failure_detector_recovers_crashed_master():
+    from repro.cluster import FailureDetector
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    standby = cluster.add_host("fd-standby", role="master")
+    detector = FailureDetector(cluster.coordinator, [standby],
+                               interval=500.0, miss_threshold=2,
+                               ping_timeout=100.0)
+    detector.start()
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 50_000.0)
+    detector.stop()
+    assert detector.recoveries_started == 1
+    recovered = cluster.coordinator.masters["m0"].master
+    assert recovered.active
+    assert recovered.store.read("a") == 1
+    # Client transparently continues.
+    outcome = cluster.run(client.update(Write("b", 2)),
+                          timeout=1_000_000.0)
+    assert outcome.result >= 1  # version floor jumps after recovery
+
+
+def test_failure_detector_does_not_fire_on_healthy_master():
+    from repro.cluster import FailureDetector
+    cluster = curp_cluster()
+    detector = FailureDetector(cluster.coordinator, [], interval=500.0,
+                               miss_threshold=2)
+    detector.start()
+    cluster.sim.run(until=10_000.0)
+    detector.stop()
+    assert detector.recoveries_started == 0
+
+
+def test_backup_spare_pool_used_on_recovery():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    spare = cluster.add_host("bspare", role="backup")
+    cluster.coordinator.backup_spares.append(spare)
+    cluster.network.hosts[cluster.backup_hosts["m0"][0]].crash()
+    cluster.master().host.crash()
+    standby = cluster.add_host("standby", role="master")
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.recover_master("m0", standby)),
+        timeout=10_000_000.0)
+    managed = cluster.coordinator.masters["m0"]
+    assert len(managed.backups) == 3
+    assert "bspare" in managed.backups
+    assert cluster.coordinator.backup_servers["bspare"].entry_count() \
+        == managed.master.store.log.end

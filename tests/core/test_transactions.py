@@ -1,0 +1,223 @@
+"""Tests for §A.3 optimistic transactions over CURP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.transactions import (
+    OptimisticTransaction,
+    TransactionAborted,
+    run_transaction,
+)
+from repro.harness import build_cluster
+from repro.kvstore import ConditionalMultiWrite, Write
+from repro.kvstore.operations import KEEP
+
+
+def curp_cluster(**kwargs):
+    defaults = dict(f=3, mode=ReplicationMode.CURP, min_sync_batch=50,
+                    idle_sync_delay=200.0, retry_backoff=10.0,
+                    rpc_timeout=200.0)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults))
+
+
+# ----------------------------------------------------------------------
+# the ConditionalMultiWrite operation itself
+# ----------------------------------------------------------------------
+def test_cmw_applies_when_versions_match():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))  # version 1
+    op = ConditionalMultiWrite(items=(("a", 10, 1), ("b", 20, 0)))
+    outcome = cluster.run(client.update(op))
+    assert outcome.result[0] == "OK"
+    assert cluster.run(client.read("a")) == 10
+    assert cluster.run(client.read("b")) == 20
+
+
+def test_cmw_rejects_on_any_mismatch():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    op = ConditionalMultiWrite(items=(("a", 10, 99), ("b", 20, 0)))
+    outcome = cluster.run(client.update(op))
+    assert outcome.result[0] == "MISMATCH"
+    assert cluster.run(client.read("a")) == 1   # untouched
+    assert cluster.run(client.read("b")) is None  # atomicity
+
+
+def test_cmw_keep_validates_without_writing():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("guard", "g")))  # version 1
+    op = ConditionalMultiWrite(items=(("target", "t", 0),
+                                      ("guard", KEEP, 1)))
+    outcome = cluster.run(client.update(op))
+    assert outcome.result[0] == "OK"
+    assert cluster.run(client.read("guard")) == "g"  # value unchanged
+    assert cluster.run(client.read("target")) == "t"
+
+
+def test_cmw_witness_slots_cover_read_set():
+    """The record must conflict with writes to validate-only keys."""
+    op = ConditionalMultiWrite(items=(("w", 1, 0), ("r", KEEP, 0)))
+    assert len(op.key_hashes()) == 2
+    assert op.mutated_keys() == ("w",)
+    assert set(op.touched_keys()) == {"w", "r"}
+
+
+# ----------------------------------------------------------------------
+# the transaction layer
+# ----------------------------------------------------------------------
+def test_transaction_commit_applies_atomically():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("acct:a", 100)))
+    cluster.run(client.update(Write("acct:b", 50)))
+
+    def transfer():
+        txn = OptimisticTransaction(client)
+        a = yield from txn.read("acct:a")
+        b = yield from txn.read("acct:b")
+        txn.write("acct:a", a - 30)
+        txn.write("acct:b", b + 30)
+        yield from txn.commit()
+    cluster.run(cluster.sim.process(transfer()))
+    assert cluster.run(client.read("acct:a")) == 70
+    assert cluster.run(client.read("acct:b")) == 80
+
+
+def test_transaction_aborts_on_concurrent_write():
+    cluster = curp_cluster()
+    client_a = cluster.new_client()
+    client_b = cluster.new_client()
+    cluster.run(client_a.update(Write("x", 1)))
+
+    def doomed():
+        txn = OptimisticTransaction(client_a)
+        value = yield from txn.read("x")
+        # A competing client sneaks in a write before the commit.
+        yield from client_b.update(Write("x", 999))
+        txn.write("x", value + 1)
+        yield from txn.commit()
+    with pytest.raises(TransactionAborted):
+        cluster.run(cluster.sim.process(doomed()))
+    assert cluster.run(client_a.read("x")) == 999  # competitor won
+
+
+def test_transaction_read_own_staged_write():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+
+    def body():
+        txn = OptimisticTransaction(client)
+        txn.write("k", "staged")
+        value = yield from txn.read("k")
+        assert value == "staged"
+        yield from txn.commit()
+    cluster.run(cluster.sim.process(body()))
+    assert cluster.run(client.read("k")) == "staged"
+
+
+def test_run_transaction_retries_until_success():
+    """Two clients transferring concurrently: retries keep the sum
+    invariant (the classic bank test)."""
+    cluster = curp_cluster()
+    clients = [cluster.new_client() for _ in range(3)]
+    setup = clients[0]
+    cluster.run(setup.update(Write("bank:a", 300)))
+    cluster.run(setup.update(Write("bank:b", 300)))
+
+    def transfer_body(amount):
+        def body(txn):
+            a = yield from txn.read("bank:a")
+            b = yield from txn.read("bank:b")
+            txn.write("bank:a", a - amount)
+            txn.write("bank:b", b + amount)
+            return amount
+        return body
+
+    processes = []
+    for i, client in enumerate(clients):
+        def script(client=client, i=i):
+            for j in range(5):
+                yield from run_transaction(client, transfer_body(1 + i))
+        processes.append(client.host.spawn(script(), name=f"txn{i}"))
+    cluster.run(cluster.sim.all_of(processes), timeout=10_000_000.0)
+    a = cluster.run(setup.read("bank:a"))
+    b = cluster.run(setup.read("bank:b"))
+    assert a + b == 600  # invariant held under contention
+    moved = 5 * (1 + 2 + 3)
+    assert b == 300 + moved
+
+
+def test_for_update_read_skips_durability_wait():
+    """§A.3: the preparation read returns an unsynced value without
+    forcing a sync."""
+    cluster = curp_cluster(min_sync_batch=1000, idle_sync_delay=1e9)
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", "unsynced")))
+    master = cluster.master()
+    assert master.unsynced_count == 1
+    value = cluster.run(client.read("k", for_update=True))
+    assert value == "unsynced"
+    assert master.unsynced_count == 1  # read did NOT force a sync
+    # A plain read does.
+    value = cluster.run(client.read("k"))
+    assert value == "unsynced"
+    assert master.unsynced_count == 0
+
+
+def test_version_floor_prevents_aba_across_recovery():
+    """A transaction prepared against an unsynced value that dies with
+    the master must abort, even if the key is rewritten after
+    recovery (the versions must not collide)."""
+    cluster = curp_cluster(min_sync_batch=1000, idle_sync_delay=1e9)
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", "v1")))  # synced via witness...
+    # Read for update: sees version of the (witnessed) unsynced write.
+    value, version = cluster.run(client.read_versioned("k",
+                                                       for_update=True))
+    assert value == "v1"
+    # Crash; the witnessed write is replayed, but suppose a fresh write
+    # lands after recovery: its version must exceed the old one.
+    cluster.master().host.crash()
+    standby = cluster.add_host("standby", role="master")
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.recover_master("m0", standby)),
+        timeout=10_000_000.0)
+    cluster.run(client.update(Write("k", "v2")), timeout=10_000_000.0)
+    _v, new_version = cluster.run(client.read_versioned("k"))
+    assert new_version > version  # floor jumped: no reuse
+    # The stale transaction aborts.
+    op = ConditionalMultiWrite(items=(("k", "stale-commit", version),))
+    outcome = cluster.run(client.update(op), timeout=10_000_000.0)
+    assert outcome.result[0] == "MISMATCH"
+
+
+def test_transaction_survives_master_crash_mid_flight():
+    cluster = curp_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", 10)))
+
+    def body(txn):
+        value = yield from txn.read("k")
+        txn.write("k", value + 1)
+        return value
+
+    def chaos():
+        yield cluster.sim.timeout(30.0)
+        cluster.master().host.crash()
+        yield cluster.sim.timeout(100.0)
+        standby = cluster.add_host("standby-tx", role="master")
+        yield cluster.sim.process(
+            cluster.coordinator.recover_master("m0", standby))
+
+    txn_process = cluster.sim.process(
+        run_transaction(client, body))
+    chaos_process = cluster.sim.process(chaos())
+    cluster.run(cluster.sim.all_of([txn_process, chaos_process]),
+                timeout=10_000_000.0)
+    assert cluster.run(client.read("k"), timeout=1_000_000.0) == 11

@@ -1,0 +1,89 @@
+"""Smoke tests for the per-figure experiment drivers (tiny parameters:
+these verify plumbing and basic shape, not calibration — the
+benchmarks assert the paper's shapes at full CI scale)."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import (
+    fig5_write_latency,
+    fig6_write_throughput,
+    fig7_ycsb_latency,
+    fig11_witness_collisions,
+    fig12_batch_size,
+    sec52_network_amplification,
+)
+from repro.harness.redis_experiments import (
+    fig8_set_latency,
+    fig9_set_throughput,
+    fig10_command_latency,
+    fig13_latency_vs_throughput,
+)
+
+
+def test_fig5_driver_smoke():
+    results = fig5_write_latency(n_ops=40)
+    assert set(results) == {"Original RAMCloud (f=3)", "CURP (f=3)",
+                            "CURP (f=2)", "CURP (f=1)", "Unreplicated"}
+    assert all(r.count == 40 for r in results.values())
+    assert results["Original RAMCloud (f=3)"].median \
+        > results["CURP (f=3)"].median
+
+
+def test_fig6_driver_smoke():
+    series = fig6_write_throughput(client_counts=(2,), duration=800.0,
+                                   warmup=200.0)
+    assert all(len(points) == 1 for points in series.values())
+    assert series["Unreplicated"][0][1] > 0
+
+
+def test_fig7_driver_smoke():
+    results = fig7_ycsb_latency(workload_name="YCSB-B", n_ops=30,
+                                item_count=2_000)
+    assert results["CURP (f=3)"].count == 30
+
+
+def test_fig11_driver_smoke():
+    series = fig11_witness_collisions(slot_counts=(64, 128),
+                                      associativities=(1, 4), trials=30)
+    direct = dict(series[1])
+    fourway = dict(series[4])
+    assert fourway[128] > direct[128]
+    assert direct[128] > direct[64]
+
+
+def test_fig12_driver_smoke():
+    series = fig12_batch_size(batch_sizes=(5,), n_clients=4,
+                              duration=800.0, warmup=200.0)
+    assert series["CURP (f=3)"][0][0] == 5
+
+
+def test_sec52_driver_smoke():
+    result = sec52_network_amplification(n_ops=30)
+    assert result["curp_bytes"] > result["original_bytes"]
+    # Payload-copy accounting: 7 copies vs 4 (paper's +75%).
+    assert 0.5 < result["amplification_copies"] < 1.0
+
+
+def test_fig8_driver_smoke():
+    results = fig8_set_latency(n_ops=40)
+    assert results["Original Redis (durable)"].median \
+        > results["Original Redis (non-durable)"].median
+
+
+def test_fig9_driver_smoke():
+    series = fig9_set_throughput(client_counts=(2,), duration=3_000.0,
+                                 warmup=500.0)
+    assert all(points[0][1] > 0 for points in series.values())
+
+
+def test_fig10_driver_smoke():
+    results = fig10_command_latency(n_ops=30)
+    assert set(results["CURP (1 witness)"]) == {"SET", "HMSET", "INCR"}
+
+
+def test_fig13_driver_smoke():
+    series = fig13_latency_vs_throughput(client_counts=(1, 4),
+                                         duration=3_000.0, warmup=500.0)
+    curp = series["CURP (1 witness)"]
+    assert len(curp) == 2
+    assert curp[1][0] > curp[0][0]  # more clients, more throughput

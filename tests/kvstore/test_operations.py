@@ -1,0 +1,104 @@
+"""Unit and property tests for the operation vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import (
+    ConditionalWrite,
+    Delete,
+    Increment,
+    MultiWrite,
+    Read,
+    Write,
+    commutative,
+    key_hash,
+)
+
+
+def test_write_touches_only_its_key():
+    op = Write("a", 1)
+    assert op.mutated_keys() == ("a",)
+    assert op.read_keys() == ()
+    assert op.touched_keys() == ("a",)
+    assert op.is_update
+
+
+def test_read_is_not_an_update():
+    op = Read("a")
+    assert not op.is_update
+    assert op.read_keys() == ("a",)
+    assert op.mutated_keys() == ()
+
+
+def test_increment_reads_and_writes():
+    op = Increment("counter", 5)
+    assert op.touched_keys() == ("counter",)
+    assert op.mutated_keys() == ("counter",)
+    assert op.read_keys() == ("counter",)
+
+
+def test_multiwrite_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError):
+        MultiWrite((("a", 1), ("a", 2)))
+    with pytest.raises(ValueError):
+        MultiWrite(())
+
+
+def test_multiwrite_key_hashes_match_keys():
+    op = MultiWrite((("a", 1), ("b", 2)))
+    assert op.key_hashes() == (key_hash("a"), key_hash("b"))
+
+
+def test_commutativity_disjoint_writes():
+    assert commutative(Write("a", 1), Write("b", 2))
+    assert not commutative(Write("a", 1), Write("a", 2))
+
+
+def test_commutativity_read_write_conflicts():
+    assert not commutative(Read("a"), Write("a", 1))
+    assert not commutative(Write("a", 1), Read("a"))
+    assert commutative(Read("a"), Read("a"))  # read-read shares fine
+    assert commutative(Read("a"), Write("b", 1))
+
+
+def test_commutativity_multiwrite_overlap():
+    multi = MultiWrite((("a", 1), ("b", 2)))
+    assert not commutative(multi, Write("b", 9))
+    assert commutative(multi, Write("c", 9))
+
+
+def test_key_hash_stable_and_64bit():
+    h = key_hash("hello")
+    assert h == key_hash("hello")
+    assert h != key_hash("hello2")
+    assert 0 <= h < 2 ** 64
+    assert key_hash(b"hello") == h
+
+
+@given(st.text(max_size=30), st.text(max_size=30))
+@settings(max_examples=200)
+def test_commutative_iff_disjoint(key_a, key_b):
+    expected = key_a != key_b
+    assert commutative(Write(key_a, 0), Write(key_b, 0)) == expected
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+                max_size=4, unique=True),
+       st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+                max_size=4, unique=True))
+@settings(max_examples=100)
+def test_multiwrite_commutativity_is_set_disjointness(keys_a, keys_b):
+    op_a = MultiWrite(tuple((k, 0) for k in keys_a))
+    op_b = MultiWrite(tuple((k, 0) for k in keys_b))
+    assert commutative(op_a, op_b) == (not set(keys_a) & set(keys_b))
+
+
+def test_commutative_is_symmetric():
+    cases = [Write("a", 1), Read("a"), Increment("a"), Write("b", 1),
+             Read("b"), Delete("a"), MultiWrite((("a", 1), ("c", 1)))]
+    for x in cases:
+        for y in cases:
+            assert commutative(x, y) == commutative(y, x)

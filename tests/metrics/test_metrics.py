@@ -1,0 +1,113 @@
+"""Tests for latency statistics and distribution series."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    LatencyRecorder,
+    ccdf_points,
+    cdf_points,
+    format_table,
+    percentile,
+)
+
+
+def test_percentile_basics():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 50) == 3.0
+    assert percentile(samples, 100) == 5.0
+    assert percentile(samples, 25) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == 1.5
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_recorder_summary():
+    recorder = LatencyRecorder()
+    for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+        recorder.record(value)
+    summary = recorder.summary()
+    assert summary["count"] == 5
+    assert summary["median"] == 3.0
+    assert summary["mean"] == 3.0
+    assert summary["min"] == 1.0 and summary["max"] == 5.0
+
+
+def test_recorder_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyRecorder().record(-1.0)
+
+
+def test_recorder_reset():
+    recorder = LatencyRecorder()
+    recorder.record(1.0)
+    recorder.reset()
+    assert recorder.count == 0
+    assert recorder.summary() == {"count": 0}
+
+
+def test_ccdf_monotone_decreasing():
+    samples = [float(i) for i in range(100)]
+    points = ccdf_points(samples, points=20)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys, reverse=True)
+    assert ys[0] == 1.0
+    assert ys[-1] == pytest.approx(0.01)
+
+
+def test_cdf_reaches_one():
+    points = cdf_points([1.0, 2.0, 3.0], points=3)
+    assert points[-1][1] == 1.0
+
+
+def test_empty_series():
+    assert ccdf_points([]) == []
+    assert cdf_points([]) == []
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"],
+                         [["curp", 7.30], ["orig", 13.80]],
+                         title="Figure 5")
+    lines = table.splitlines()
+    assert lines[0] == "Figure 5"
+    # lines: title, header, separator, then data rows
+    assert "curp" in lines[3] and "7.30" in lines[3]
+    assert "orig" in lines[4] and "13.80" in lines[4]
+
+
+def test_format_table_large_numbers_commafied():
+    table = format_table(["tput"], [[728000.0]])
+    assert "728,000" in table
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                max_size=200))
+@settings(max_examples=100)
+def test_property_percentile_bounds(samples):
+    ordered = sorted(samples)
+    for p in (0, 25, 50, 75, 100):
+        value = percentile(ordered, p)
+        assert ordered[0] <= value <= ordered[-1]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                max_size=200))
+@settings(max_examples=50)
+def test_property_ccdf_fraction_bounds(samples):
+    for _x, y in ccdf_points(samples):
+        assert 0.0 < y <= 1.0

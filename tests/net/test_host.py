@@ -1,0 +1,85 @@
+"""Unit tests for host crash/restart and process management."""
+
+from __future__ import annotations
+
+from repro.net import Network
+from repro.sim import Interrupt, Simulator
+
+
+def test_crash_interrupts_spawned_processes(sim: Simulator, network: Network):
+    host = network.add_host("h")
+    log = []
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+            log.append("finished")
+        except Interrupt:
+            log.append("interrupted")
+    host.spawn(worker())
+    sim.schedule_callback(10.0, host.crash)
+    sim.run()
+    assert log == ["interrupted"]
+
+
+def test_crash_hooks_fire_once(sim: Simulator, network: Network):
+    host = network.add_host("h")
+    crashes = []
+    host.on_crash(lambda: crashes.append(sim.now))
+    host.crash()
+    host.crash()  # idempotent
+    assert crashes == [0.0]
+
+
+def test_restart_hooks_and_incarnation(sim: Simulator, network: Network):
+    host = network.add_host("h")
+    restarts = []
+    host.on_restart(lambda: restarts.append(True))
+    assert host.incarnation == 0
+    host.crash()
+    assert host.incarnation == 1
+    host.restart()
+    assert restarts == [True]
+    host.crash()
+    assert host.incarnation == 2
+
+
+def test_restart_when_alive_is_noop(sim: Simulator, network: Network):
+    host = network.add_host("h")
+    restarts = []
+    host.on_restart(lambda: restarts.append(True))
+    host.restart()
+    assert restarts == []
+
+
+def test_completed_process_removed_from_host(sim: Simulator, network: Network):
+    host = network.add_host("h")
+    def quick():
+        yield sim.timeout(1.0)
+    host.spawn(quick())
+    sim.run()
+    assert len(host._processes) == 0
+
+
+def test_rx_cost_serializes_inbound(sim: Simulator, network: Network):
+    sender = network.add_host("s")
+    receiver = network.add_host("r", rx_cost=1.0)
+    seen = []
+    receiver.set_message_handler(lambda m: seen.append(sim.now))
+    for _ in range(3):
+        sender.send("r", "x")
+    sim.run()
+    # All arrive at wire time 2.0, then serialize 1 µs apart.
+    assert seen == [3.0, 4.0, 5.0]
+
+
+def test_rx_dispatch_dropped_after_crash(sim: Simulator, network: Network):
+    sender = network.add_host("s")
+    receiver = network.add_host("r", rx_cost=5.0)
+    seen = []
+    receiver.set_message_handler(lambda m: seen.append(m.payload))
+    sender.send("r", "x")
+    # Crash while the message is in the RX pipeline (arrives at 2.0,
+    # dispatches at 7.0).
+    sim.schedule_callback(3.0, receiver.crash)
+    sim.run()
+    assert seen == []

@@ -1,0 +1,144 @@
+"""Unit tests for the network fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.net.latency import LatencyModel
+from repro.sim import Fixed, Simulator
+
+
+def two_hosts(network: Network, tx: float = 0.0):
+    a = network.add_host("a", tx_cost=tx)
+    b = network.add_host("b", tx_cost=tx)
+    inbox = []
+    b.set_message_handler(lambda m: inbox.append((network.sim.now, m.payload)))
+    return a, b, inbox
+
+
+def test_delivery_after_one_way_latency(sim: Simulator, network: Network):
+    a, _b, inbox = two_hosts(network)
+    a.send("b", "hello")
+    sim.run()
+    assert inbox == [(2.0, "hello")]
+
+
+def test_duplicate_host_name_rejected(sim: Simulator, network: Network):
+    network.add_host("x")
+    with pytest.raises(ValueError):
+        network.add_host("x")
+
+
+def test_unknown_destination_rejected(sim: Simulator, network: Network):
+    a = network.add_host("a")
+    with pytest.raises(KeyError):
+        a.send("ghost", "hi")
+
+
+def test_nic_serialization_staggers_messages(sim: Simulator, network: Network):
+    a, _b, inbox = two_hosts(network, tx=0.5)
+    for i in range(3):
+        a.send("b", i)
+    sim.run()
+    # Departures at 0.5, 1.0, 1.5; +2.0 wire each.
+    assert [t for t, _ in inbox] == [2.5, 3.0, 3.5]
+    assert [p for _, p in inbox] == [0, 1, 2]
+
+
+def test_per_pair_latency_override(sim: Simulator):
+    latency = LatencyModel(Fixed(2.0))
+    network = Network(sim, latency=latency)
+    a, _b, inbox = two_hosts(network)
+    network.set_link_latency("a", "b", Fixed(50.0))
+    a.send("b", "slow")
+    sim.run()
+    assert inbox == [(50.0, "slow")]
+
+
+def test_partition_blocks_both_directions(sim: Simulator, network: Network):
+    a, b, inbox = two_hosts(network)
+    back = []
+    a.set_message_handler(lambda m: back.append(m.payload))
+    network.partition("a", "b")
+    a.send("b", "x")
+    b.send("a", "y")
+    sim.run()
+    assert inbox == [] and back == []
+    assert network.stats.messages_dropped == 2
+    network.heal("a", "b")
+    a.send("b", "z")
+    sim.run()
+    assert [p for _, p in inbox] == ["z"]
+
+
+def test_isolate_and_rejoin(sim: Simulator, network: Network):
+    a, _b, inbox = two_hosts(network)
+    network.add_host("c")
+    network.isolate("a")
+    a.send("b", 1)
+    sim.run()
+    assert inbox == []
+    network.rejoin("a")
+    a.send("b", 2)
+    sim.run()
+    assert [p for _, p in inbox] == [2]
+
+
+def test_drop_rate_drops_messages(sim: Simulator):
+    network = Network(sim, latency=LatencyModel(Fixed(1.0)), drop_rate=0.5)
+    a, _b, inbox = two_hosts(network)
+    for i in range(200):
+        a.send("b", i)
+    sim.run()
+    assert 40 < len(inbox) < 160  # ~100 expected
+    assert network.stats.messages_dropped == 200 - len(inbox)
+
+
+def test_invalid_drop_rate():
+    with pytest.raises(ValueError):
+        Network(Simulator(), drop_rate=1.0)
+
+
+def test_crashed_receiver_loses_messages(sim: Simulator, network: Network):
+    a, b, inbox = two_hosts(network)
+    b.crash()
+    a.send("b", "lost")
+    sim.run()
+    assert inbox == []
+
+
+def test_crashed_sender_sends_nothing(sim: Simulator, network: Network):
+    a, _b, inbox = two_hosts(network)
+    a.crash()
+    a.send("b", "never")
+    sim.run()
+    assert inbox == []
+
+
+def test_restart_allows_delivery_again(sim: Simulator, network: Network):
+    a, b, inbox = two_hosts(network)
+    b.crash()
+    b.restart()
+    a.send("b", "back")
+    sim.run()
+    assert [p for _, p in inbox] == ["back"]
+
+
+def test_traffic_stats_count_bytes(sim: Simulator, network: Network):
+    a, _b, _inbox = two_hosts(network)
+    a.send("b", "m1", size_bytes=100)
+    a.send("b", "m2", size_bytes=50)
+    sim.run()
+    assert network.stats.messages_sent == 2
+    assert network.stats.bytes_sent == 150
+    assert network.stats.per_host_bytes["a"] == 150
+
+
+def test_loopback_is_instant(sim: Simulator, network: Network):
+    a = network.add_host("solo")
+    inbox = []
+    a.set_message_handler(lambda m: inbox.append(sim.now))
+    a.send("solo", "self")
+    sim.run()
+    assert inbox == [0.0]

@@ -1,0 +1,116 @@
+"""Unit tests for the AOF + fsync device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.net.latency import LatencyModel
+from repro.redislike.aof import AppendOnlyFile, FsyncDevice
+from repro.sim import Fixed, Simulator
+
+
+@pytest.fixture
+def host(sim: Simulator):
+    network = Network(sim, latency=LatencyModel(Fixed(1.0)))
+    return network.add_host("server")
+
+
+def build_aof(host, fsync_duration=70.0):
+    device = FsyncDevice(host, Fixed(fsync_duration))
+    return AppendOnlyFile(host, device), device
+
+
+def test_append_assigns_sequences(sim, host):
+    aof, _device = build_aof(host)
+    assert aof.append("cmd1") == 1
+    assert aof.append("cmd2") == 2
+    assert aof.end_seq == 2
+    assert aof.durable_seq == 0
+
+
+def test_request_durable_runs_one_fsync(sim, host):
+    aof, device = build_aof(host)
+    aof.append("cmd1")
+    done = aof.request_durable(1)
+    sim.run(done)
+    assert sim.now == 70.0
+    assert aof.durable_seq == 1
+    assert device.fsyncs == 1
+
+
+def test_one_fsync_covers_everything_appended(sim, host):
+    """Entries appended before the fsync starts ride along."""
+    aof, device = build_aof(host)
+    for i in range(5):
+        aof.append(f"cmd{i}")
+    waits = [aof.request_durable(i + 1) for i in range(5)]
+    sim.run(sim.all_of(waits))
+    assert device.fsyncs == 1
+    assert aof.durable_seq == 5
+
+
+def test_entries_during_fsync_wait_for_next(sim, host):
+    aof, device = build_aof(host)
+    aof.append("first")
+    first = aof.request_durable(1)
+    # Mid-fsync, append another and ask for durability.
+    def late_append():
+        yield sim.timeout(30.0)
+        aof.append("second")
+        done = aof.request_durable(2)
+        yield done
+        return sim.now
+    process = sim.process(late_append())
+    assert sim.run(process) == 140.0  # second fsync after the first
+    assert device.fsyncs == 2
+
+
+def test_already_durable_resolves_immediately(sim, host):
+    aof, device = build_aof(host)
+    aof.append("cmd")
+    sim.run(aof.request_durable(1))
+    done = aof.request_durable(1)
+    assert done.triggered
+    assert device.fsyncs == 1
+
+
+def test_crash_truncates_unsynced_tail(sim, host):
+    aof, _device = build_aof(host)
+    aof.append("durable-cmd")
+    sim.run(aof.request_durable(1))
+    aof.append("volatile-cmd")
+    host.crash()
+    assert aof.end_seq == 1
+    assert [cmd for _seq, cmd, _rpc, _res in aof.durable_entries()] \
+        == ["durable-cmd"]
+
+
+def test_on_durable_callbacks_fire(sim, host):
+    aof, _device = build_aof(host)
+    seen = []
+    aof.on_durable.append(lambda seq: seen.append(seq))
+    aof.append("a")
+    aof.append("b")
+    sim.run(aof.request_durable(2))
+    assert seen == [2]
+
+
+def test_fsync_device_serializes(sim, host):
+    device = FsyncDevice(host, Fixed(50.0))
+    finish = []
+    def syncer():
+        yield from device.fsync()
+        finish.append(sim.now)
+    sim.process(syncer())
+    sim.process(syncer())
+    sim.run()
+    assert finish == [50.0, 100.0]
+
+
+def test_result_rides_entries(sim, host):
+    aof, _device = build_aof(host)
+    aof.append("cmd", rpc_id="rpc-1", result="OK")
+    sim.run(aof.request_durable(1))
+    seq, cmd, rpc_id, result = aof.durable_entries()[0]
+    assert (seq, cmd, rpc_id, result) == (1, "cmd", "rpc-1", "OK")

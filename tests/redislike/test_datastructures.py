@@ -1,0 +1,114 @@
+"""Unit tests for Redis data structures and the command table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.redislike.commands import Command, CommandError, execute
+from repro.redislike.datastructures import RedisStore, WrongTypeError
+
+
+@pytest.fixture
+def store():
+    return RedisStore()
+
+
+def run(store, name, *args):
+    return execute(store, Command(name, args))
+
+
+def test_set_get_roundtrip(store):
+    assert run(store, "SET", "k", "v") == "OK"
+    assert run(store, "GET", "k") == "v"
+    assert run(store, "GET", "missing") is None
+
+
+def test_set_overwrites_any_type(store):
+    run(store, "LPUSH", "k", "a")
+    assert run(store, "SET", "k", "now-a-string") == "OK"
+    assert run(store, "GET", "k") == "now-a-string"
+
+
+def test_del_and_exists(store):
+    run(store, "SET", "k", "v")
+    assert run(store, "EXISTS", "k") == 1
+    assert run(store, "DEL", "k") == 1
+    assert run(store, "EXISTS", "k") == 0
+    assert run(store, "DEL", "k") == 0
+
+
+def test_type_reports(store):
+    run(store, "SET", "s", "x")
+    run(store, "HSET", "h", "f", "v")
+    run(store, "LPUSH", "l", "a")
+    run(store, "SADD", "st", "m")
+    assert run(store, "TYPE", "s") == "string"
+    assert run(store, "TYPE", "h") == "hash"
+    assert run(store, "TYPE", "l") == "list"
+    assert run(store, "TYPE", "st") == "set"
+    assert run(store, "TYPE", "none") is None
+
+
+def test_incr_semantics(store):
+    assert run(store, "INCR", "c") == 1
+    assert run(store, "INCR", "c") == 2
+    assert run(store, "INCRBY", "c", "10") == 12
+    assert run(store, "GET", "c") == "12"
+
+
+def test_incr_on_non_integer_errors(store):
+    run(store, "SET", "k", "not-a-number")
+    with pytest.raises(WrongTypeError):
+        run(store, "INCR", "k")
+
+
+def test_wrongtype_on_string_ops_against_hash(store):
+    run(store, "HSET", "h", "f", "v")
+    with pytest.raises(WrongTypeError):
+        run(store, "GET", "h")
+
+
+def test_hash_commands(store):
+    assert run(store, "HMSET", "h", {"a": "1", "b": "2"}) == "OK"
+    assert run(store, "HGET", "h", "a") == "1"
+    assert run(store, "HGET", "h", "missing") is None
+    assert run(store, "HGETALL", "h") == {"a": "1", "b": "2"}
+    assert run(store, "HSET", "h", "c", "3") == 1
+    assert run(store, "HSET", "h", "c", "4") == 0  # overwrite adds 0
+
+
+def test_list_commands(store):
+    assert run(store, "RPUSH", "l", "a", "b") == 2
+    assert run(store, "LPUSH", "l", "z") == 3
+    assert run(store, "LRANGE", "l", "0", "-1") == ["z", "a", "b"]
+    assert run(store, "LRANGE", "l", "0", "1") == ["z", "a"]
+    assert run(store, "LLEN", "l") == 3
+    assert run(store, "LLEN", "none") == 0
+
+
+def test_set_commands(store):
+    assert run(store, "SADD", "s", "a", "b", "a") == 2
+    assert run(store, "SADD", "s", "b") == 0
+    assert run(store, "SMEMBERS", "s") == {"a", "b"}
+    assert run(store, "SISMEMBER", "s", "a") == 1
+    assert run(store, "SISMEMBER", "s", "z") == 0
+
+
+def test_unknown_command(store):
+    with pytest.raises(CommandError):
+        run(store, "FLUSHALL")
+
+
+def test_arity_validation(store):
+    with pytest.raises(CommandError):
+        run(store, "SET", "k")
+    with pytest.raises(CommandError):
+        run(store, "GET", "k", "extra")
+
+
+def test_command_classification():
+    assert Command("SET", ("k", "v")).is_write
+    assert not Command("GET", ("k",)).is_write
+    assert Command("INCR", ("k",)).is_write
+    assert not Command("LRANGE", ("k", "0", "-1")).is_write
+    assert Command("SET", ("k", "v")).key == "k"

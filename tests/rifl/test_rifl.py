@@ -1,0 +1,193 @@
+"""Unit tests for the RIFL exactly-once substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rifl import (
+    DuplicateState,
+    LeaseServer,
+    ResultRegistry,
+    RiflClientTracker,
+    RpcId,
+)
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# RpcId
+# ----------------------------------------------------------------------
+def test_rpc_id_ordering_within_client():
+    assert RpcId(1, 1) < RpcId(1, 2) < RpcId(1, 10)
+
+
+def test_rpc_id_str():
+    assert str(RpcId(3, 7)) == "3.7"
+
+
+# ----------------------------------------------------------------------
+# client tracker
+# ----------------------------------------------------------------------
+def test_tracker_sequences_increase():
+    tracker = RiflClientTracker(client_id=5)
+    a, b = tracker.new_rpc(), tracker.new_rpc()
+    assert (a.seq, b.seq) == (1, 2)
+    assert a.client_id == 5
+
+
+def test_first_incomplete_tracks_oldest():
+    tracker = RiflClientTracker(1)
+    a = tracker.new_rpc()
+    b = tracker.new_rpc()
+    c = tracker.new_rpc()
+    assert tracker.first_incomplete == 1
+    tracker.completed(b)
+    assert tracker.first_incomplete == 1  # a still outstanding
+    tracker.completed(a)
+    assert tracker.first_incomplete == 3  # only c left
+    tracker.completed(c)
+    assert tracker.first_incomplete == 4  # everything done
+
+
+def test_tracker_rejects_foreign_rpc():
+    tracker = RiflClientTracker(1)
+    with pytest.raises(ValueError):
+        tracker.completed(RpcId(2, 1))
+
+
+# ----------------------------------------------------------------------
+# result registry
+# ----------------------------------------------------------------------
+def test_new_then_completed():
+    registry = ResultRegistry()
+    rpc = RpcId(1, 1)
+    assert registry.check(rpc) == (DuplicateState.NEW, None)
+    registry.record(rpc, result="v7", log_position=3)
+    state, result = registry.check(rpc)
+    assert state is DuplicateState.COMPLETED
+    assert result == "v7"
+
+
+def test_ack_garbage_collects_and_marks_stale():
+    registry = ResultRegistry()
+    for seq in (1, 2, 3):
+        registry.record(RpcId(1, seq), result=seq)
+    dropped = registry.process_ack(client_id=1, first_incomplete=3)
+    assert dropped == 2
+    assert registry.check(RpcId(1, 1)) == (DuplicateState.STALE, None)
+    assert registry.check(RpcId(1, 2)) == (DuplicateState.STALE, None)
+    assert registry.check(RpcId(1, 3))[0] is DuplicateState.COMPLETED
+
+
+def test_ack_never_regresses():
+    registry = ResultRegistry()
+    registry.process_ack(1, 5)
+    assert registry.process_ack(1, 3) == 0
+    assert registry.check(RpcId(1, 4)) == (DuplicateState.STALE, None)
+
+
+def test_acks_ignored_during_recovery():
+    """Paper §4.8: witness replays arrive in random order; piggybacked
+    acks must not erase records the replay still needs."""
+    registry = ResultRegistry()
+    registry.record(RpcId(1, 1), result="first")
+    registry.begin_recovery()
+    assert registry.process_ack(1, 2) == 0  # ignored
+    assert registry.check(RpcId(1, 1))[0] is DuplicateState.COMPLETED
+    registry.end_recovery()
+    assert registry.process_ack(1, 2) == 1
+    assert registry.check(RpcId(1, 1))[0] is DuplicateState.STALE
+
+
+def test_expire_client_drops_everything():
+    registry = ResultRegistry()
+    registry.record(RpcId(7, 1), "a")
+    registry.record(RpcId(7, 2), "b")
+    assert registry.expire_client(7) == 2
+    assert registry.check(RpcId(7, 1)) == (DuplicateState.STALE, None)
+    assert registry.check(RpcId(7, 99)) == (DuplicateState.STALE, None)
+
+
+def test_snapshot_restore_roundtrip():
+    registry = ResultRegistry()
+    registry.record(RpcId(1, 1), "x", log_position=10)
+    registry.process_ack(2, 5)
+    snapshot = registry.snapshot()
+    other = ResultRegistry()
+    other.restore(snapshot)
+    assert other.check(RpcId(1, 1))[0] is DuplicateState.COMPLETED
+    assert other.check(RpcId(2, 4)) == (DuplicateState.STALE, None)
+    assert other.record_count() == 1
+
+
+# ----------------------------------------------------------------------
+# lease server
+# ----------------------------------------------------------------------
+def test_lease_lifecycle():
+    sim = Simulator()
+    leases = LeaseServer(sim, lease_duration=100.0)
+    cid = leases.register_client()
+    assert not leases.is_expired(cid)
+    sim.run(until=50.0)
+    leases.renew(cid)
+    sim.run(until=140.0)
+    assert not leases.is_expired(cid)  # renewed at 50 → expiry 150
+    sim.run(until=151.0)
+    assert leases.is_expired(cid)
+    assert leases.expired_clients() == [cid]
+
+
+def test_unknown_client_is_expired():
+    leases = LeaseServer(Simulator())
+    assert leases.is_expired(999)
+    with pytest.raises(KeyError):
+        leases.renew(999)
+
+
+def test_drop_forgets_client():
+    sim = Simulator()
+    leases = LeaseServer(sim, lease_duration=10.0)
+    cid = leases.register_client()
+    leases.drop(cid)
+    assert leases.expiry_of(cid) is None
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=1, max_value=30), max_size=40))
+@settings(max_examples=100)
+def test_exactly_once_under_duplicate_storm(duplicate_schedule):
+    """Executing any interleaving of duplicates never double-applies."""
+    registry = ResultRegistry()
+    executed = []
+    for seq in duplicate_schedule:
+        rpc = RpcId(1, seq)
+        state, result = registry.check(rpc)
+        if state is DuplicateState.NEW:
+            executed.append(seq)
+            registry.record(rpc, result=f"r{seq}")
+        elif state is DuplicateState.COMPLETED:
+            assert result == f"r{seq}"
+    assert sorted(set(executed)) == sorted(executed)  # no re-execution
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 20)), max_size=60))
+@settings(max_examples=100)
+def test_stale_never_resurrects(events):
+    """Once an RpcId is STALE it stays STALE forever."""
+    registry = ResultRegistry()
+    stale_seen: set[int] = set()
+    for is_ack, seq in events:
+        rpc = RpcId(1, seq)
+        if is_ack:
+            registry.process_ack(1, seq)
+        state, _ = registry.check(rpc)
+        if state is DuplicateState.STALE:
+            stale_seen.add(seq)
+        else:
+            assert seq not in stale_seen
+            if state is DuplicateState.NEW:
+                registry.record(rpc, result=seq)

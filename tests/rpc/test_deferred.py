@@ -1,0 +1,58 @@
+"""Tests for deferred replies (the event-loop server pattern)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.rpc import RpcTimeout, RpcTransport
+from repro.sim import Simulator
+
+
+def test_deferred_handler_replies_later(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    server = RpcTransport(network.add_host("server"))
+    parked = []
+
+    def handler(args, ctx):
+        parked.append((args, ctx))
+        return RpcTransport.DEFERRED
+    server.register("batchy", handler)
+    call = client.call("server", "batchy", "payload")
+    sim.run(until=sim.now + 10.0)
+    assert not call.triggered  # no auto-reply happened
+    args, ctx = parked[0]
+    ctx.reply(f"done:{args}")
+    assert sim.run(call) == "done:payload"
+
+
+def test_deferred_batch_replies_together(sim: Simulator, network: Network):
+    clients = [RpcTransport(network.add_host(f"c{i}")) for i in range(3)]
+    server = RpcTransport(network.add_host("server"))
+    queue = []
+
+    def handler(args, ctx):
+        queue.append(ctx)
+        return RpcTransport.DEFERRED
+    server.register("cmd", handler)
+
+    def batch_loop():
+        while len(queue) < 3:
+            yield sim.timeout(1.0)
+        yield sim.timeout(50.0)  # one "fsync" for the whole batch
+        for position, ctx in enumerate(queue):
+            ctx.reply(position)
+    server.host.spawn(batch_loop(), name="loop")
+    calls = [c.call("server", "cmd", i) for i, c in enumerate(clients)]
+    results = sim.run(sim.all_of(calls))
+    assert sorted(results.values()) == [0, 1, 2]
+
+
+def test_deferred_then_crash_times_out(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    server = RpcTransport(network.add_host("server"))
+    server.register("cmd", lambda args, ctx: RpcTransport.DEFERRED)
+    call = client.call("server", "cmd", None, timeout=50.0)
+    sim.schedule_callback(10.0, server.host.crash)
+    with pytest.raises(RpcTimeout):
+        sim.run(call)

@@ -1,0 +1,76 @@
+"""Unit tests for RPC retry helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.rpc import AppError, RpcTimeout, RpcTransport, call_with_retry
+from repro.sim import Simulator
+
+
+def test_retry_eventually_succeeds(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    server = RpcTransport(network.add_host("server"))
+    attempts = []
+    def flaky(args, ctx):
+        attempts.append(sim.now)
+        if len(attempts) < 3:
+            def stall():
+                yield sim.timeout(1000.0)
+            return stall()  # never answers in time
+        return "finally"
+    server.register("op", flaky)
+    def caller():
+        value = yield from call_with_retry(client, "server", "op",
+                                           timeout=20.0, max_attempts=5)
+        return value
+    assert sim.run(sim.process(caller())) == "finally"
+    assert len(attempts) == 3
+
+
+def test_retry_gives_up_after_max_attempts(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    network.add_host("server")  # host exists but no transport/handler
+    def caller():
+        yield from call_with_retry(client, "server", "op",
+                                   timeout=5.0, max_attempts=3)
+    with pytest.raises(RpcTimeout):
+        sim.run(sim.process(caller()))
+
+
+def test_app_errors_do_not_retry(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    server = RpcTransport(network.add_host("server"))
+    calls = []
+    def handler(args, ctx):
+        calls.append(1)
+        raise AppError("NOT_OWNER")
+    server.register("op", handler)
+    def caller():
+        yield from call_with_retry(client, "server", "op",
+                                   timeout=5.0, max_attempts=5)
+    with pytest.raises(AppError):
+        sim.run(sim.process(caller()))
+    assert len(calls) == 1
+
+
+def test_backoff_spaces_attempts(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    network.add_host("server")
+    def caller():
+        try:
+            yield from call_with_retry(client, "server", "op", timeout=10.0,
+                                       max_attempts=3, backoff=100.0)
+        except RpcTimeout:
+            return sim.now
+    # attempts at 0, 110 (10 timeout + 100), 320 (110+10+200); fails at 330
+    assert sim.run(sim.process(caller())) == 330.0
+
+
+def test_invalid_max_attempts(sim: Simulator, network: Network):
+    client = RpcTransport(network.add_host("client"))
+    def caller():
+        yield from call_with_retry(client, "server", "op", max_attempts=0)
+    with pytest.raises(ValueError):
+        sim.run(sim.process(caller()))

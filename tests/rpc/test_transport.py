@@ -1,0 +1,171 @@
+"""Unit tests for the RPC transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.rpc import AppError, RpcTimeout, RpcTransport
+from repro.rpc.errors import RemoteError
+from repro.sim import Simulator
+
+
+def make_pair(network: Network):
+    client = RpcTransport(network.add_host("client"))
+    server = RpcTransport(network.add_host("server"))
+    return client, server
+
+
+def test_simple_call_response(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    server.register("echo", lambda args, ctx: f"echo:{args}")
+    result = sim.run(client.call("server", "echo", "hi"))
+    assert result == "echo:hi"
+    assert sim.now == 4.0  # two one-way 2 µs hops
+
+
+def test_unknown_method_is_app_error(sim: Simulator, network: Network):
+    client, _server = make_pair(network)
+    with pytest.raises(AppError) as exc:
+        sim.run(client.call("server", "nope"))
+    assert exc.value.code == "NO_SUCH_METHOD"
+
+
+def test_handler_app_error_propagates(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        raise AppError("NOT_OWNER", {"partition": 3})
+    server.register("write", handler)
+    with pytest.raises(AppError) as exc:
+        sim.run(client.call("server", "write", {}))
+    assert exc.value.code == "NOT_OWNER"
+    assert exc.value.info == {"partition": 3}
+
+
+def test_handler_crash_becomes_remote_error(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        raise KeyError("boom")
+    server.register("bad", handler)
+    with pytest.raises(RemoteError, match="KeyError"):
+        sim.run(client.call("server", "bad"))
+
+
+def test_timeout_fires_without_response(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        def slow():
+            yield sim.timeout(1000.0)
+            return "late"
+        return slow()
+    server.register("slow", handler)
+    with pytest.raises(RpcTimeout):
+        sim.run(client.call("server", "slow", timeout=10.0))
+
+
+def test_late_response_after_timeout_is_ignored(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        def slow():
+            yield sim.timeout(50.0)
+            return "late"
+        return slow()
+    server.register("slow", handler)
+    call = client.call("server", "slow", timeout=10.0)
+    with pytest.raises(RpcTimeout):
+        sim.run(call)
+    sim.run()  # the late response arrives; must not blow up
+
+
+def test_generator_handler_auto_reply(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        def work():
+            yield sim.timeout(5.0)
+            return args * 2
+        return work()
+    server.register("double", handler)
+    assert sim.run(client.call("server", "double", 21)) == 42
+    assert sim.now == 9.0  # 2 + 5 + 2
+
+
+def test_early_reply_then_continue(sim: Simulator, network: Network):
+    """The speculative-master pattern: reply, then keep working."""
+    client, server = make_pair(network)
+    background_done = []
+    def handler(args, ctx):
+        def work():
+            ctx.reply("fast-ack")
+            yield sim.timeout(100.0)  # simulated backup sync
+            background_done.append(sim.now)
+        return work()
+    server.register("update", handler)
+    result = sim.run(client.call("server", "update"))
+    assert result == "fast-ack"
+    assert sim.now == 4.0  # client saw 1 RTT
+    assert background_done == []  # sync still running
+    sim.run()
+    assert background_done == [102.0]
+
+
+def test_crashed_server_never_replies(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        def work():
+            yield sim.timeout(50.0)
+            return "done"
+        return work()
+    server.register("w", handler)
+    call = client.call("server", "w", timeout=200.0)
+    sim.schedule_callback(10.0, server.host.crash)
+    with pytest.raises(RpcTimeout):
+        sim.run(call)
+
+
+def test_crash_mid_handler_after_early_reply(sim: Simulator, network: Network):
+    """Reply already went out; crash kills only the background part."""
+    client, server = make_pair(network)
+    side_effects = []
+    def handler(args, ctx):
+        def work():
+            ctx.reply("ok")
+            yield sim.timeout(50.0)
+            side_effects.append("synced")
+        return work()
+    server.register("u", handler)
+    call = client.call("server", "u")
+    sim.schedule_callback(10.0, server.host.crash)
+    assert sim.run(call) == "ok"
+    sim.run()
+    assert side_effects == []
+
+
+def test_duplicate_registration_rejected(sim: Simulator, network: Network):
+    _client, server = make_pair(network)
+    server.register("m", lambda a, c: None)
+    with pytest.raises(ValueError):
+        server.register("m", lambda a, c: None)
+
+
+def test_concurrent_calls_matched_by_seq(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        def work():
+            yield sim.timeout(float(args))
+            return args
+        return work()
+    server.register("sleep", handler)
+    calls = [client.call("server", "sleep", d) for d in (30.0, 10.0, 20.0)]
+    results = sim.run(sim.all_of(calls))
+    assert [results[c] for c in calls] == [30.0, 10.0, 20.0]
+
+
+def test_reply_twice_is_error(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        ctx.reply(1)
+        with pytest.raises(RuntimeError):
+            ctx.reply(2)
+        return None
+    server.register("m", handler)
+    assert sim.run(client.call("server", "m")) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for sim events and combinators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, EventFailed, Simulator
+
+
+def test_event_starts_pending(sim: Simulator):
+    event = sim.event()
+    assert not event.triggered
+    with pytest.raises(RuntimeError):
+        _ = event.value
+
+
+def test_succeed_carries_value(sim: Simulator):
+    event = sim.event()
+    event.succeed("hello")
+    assert event.triggered and event.ok
+    assert event.value == "hello"
+
+
+def test_event_cannot_trigger_twice(sim: Simulator):
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("x"))
+
+
+def test_fail_requires_exception(sim: Simulator):
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_failed_event_value_raises(sim: Simulator):
+    event = sim.event()
+    event.fail(ValueError("boom"))
+    assert event.triggered and not event.ok
+    with pytest.raises(ValueError):
+        _ = event.value
+
+
+def test_callbacks_run_at_trigger_time(sim: Simulator):
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(sim.now))
+    sim.schedule_callback(5.0, lambda: event.succeed())
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_callback_after_trigger_still_fires(sim: Simulator):
+    event = sim.event()
+    event.succeed(7)
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == [7]
+
+
+def test_timeout_fires_at_deadline(sim: Simulator):
+    times = []
+    sim.timeout(3.0).add_callback(lambda e: times.append(sim.now))
+    sim.timeout(1.0).add_callback(lambda e: times.append(sim.now))
+    sim.run()
+    assert times == [1.0, 3.0]
+
+
+def test_timeout_value(sim: Simulator):
+    event = sim.timeout(1.0, value="done")
+    sim.run()
+    assert event.value == "done"
+
+
+def test_negative_timeout_rejected(sim: Simulator):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_all_of_waits_for_every_child(sim: Simulator):
+    a = sim.timeout(1.0, value="a")
+    b = sim.timeout(5.0, value="b")
+    combo = AllOf(sim, [a, b])
+    sim.run(combo)
+    assert sim.now == 5.0
+    assert combo.value == {a: "a", b: "b"}
+
+
+def test_all_of_empty_triggers_immediately(sim: Simulator):
+    combo = AllOf(sim, [])
+    assert combo.triggered
+    assert combo.value == {}
+
+
+def test_all_of_fails_fast(sim: Simulator):
+    a = sim.event()
+    b = sim.timeout(100.0)
+    combo = AllOf(sim, [a, b])
+    sim.schedule_callback(1.0, lambda: a.fail(ValueError("dead")))
+    with pytest.raises(ValueError):
+        sim.run(combo)
+    assert sim.now == 1.0
+
+
+def test_any_of_takes_first(sim: Simulator):
+    a = sim.timeout(2.0, value="fast")
+    b = sim.timeout(9.0, value="slow")
+    combo = AnyOf(sim, [a, b])
+    sim.run(combo)
+    assert sim.now == 2.0
+    assert combo.value[a] == "fast"
+    assert b not in combo.value
+
+
+def test_any_of_with_already_triggered_child(sim: Simulator):
+    a = sim.event()
+    a.succeed("pre")
+    combo = AnyOf(sim, [a, sim.timeout(50.0)])
+    sim.run(combo)
+    assert combo.value[a] == "pre"
+    assert sim.now == 0.0
+
+
+def test_event_failed_importable():
+    assert issubclass(EventFailed, Exception)

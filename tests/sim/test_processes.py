@@ -1,0 +1,112 @@
+"""Unit tests for generator-based processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_process_runs_and_returns(sim: Simulator):
+    def worker():
+        yield sim.timeout(3.0)
+        return "finished"
+    process = sim.process(worker())
+    result = sim.run(process)
+    assert result == "finished"
+    assert sim.now == 3.0
+
+
+def test_process_receives_event_value(sim: Simulator):
+    def worker():
+        value = yield sim.timeout(1.0, value=41)
+        return value + 1
+    assert sim.run(sim.process(worker())) == 42
+
+
+def test_process_sees_failed_event_as_exception(sim: Simulator):
+    source = sim.event()
+    sim.schedule_callback(2.0, lambda: source.fail(ValueError("nope")))
+    def worker():
+        try:
+            yield source
+        except ValueError:
+            return "caught"
+        return "missed"
+    assert sim.run(sim.process(worker())) == "caught"
+
+
+def test_process_exception_fails_the_process_event(sim: Simulator):
+    def worker():
+        yield sim.timeout(1.0)
+        raise RuntimeError("worker died")
+    process = sim.process(worker())
+    with pytest.raises(RuntimeError, match="worker died"):
+        sim.run(process)
+    assert process.triggered and not process.ok
+
+
+def test_interrupt_wakes_process(sim: Simulator):
+    log = []
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as interrupt:
+            log.append(f"interrupted:{interrupt.cause}")
+    process = sim.process(sleeper())
+    sim.schedule_callback(5.0, lambda: process.interrupt("crash"))
+    sim.run()
+    assert log == ["interrupted:crash"]
+
+
+def test_interrupt_completed_process_is_noop(sim: Simulator):
+    def quick():
+        yield sim.timeout(1.0)
+    process = sim.process(quick())
+    sim.run()
+    process.interrupt("late")  # must not raise
+    sim.run()
+    assert process.ok
+
+
+def test_stale_wakeup_after_interrupt_is_ignored(sim: Simulator):
+    """The event a process was waiting on fires after the interrupt: the
+    process must not be resumed twice."""
+    resumes = []
+    def sleeper():
+        try:
+            yield sim.timeout(10.0)
+            resumes.append("timer")
+        except Interrupt:
+            resumes.append("interrupt")
+            yield sim.timeout(20.0)
+            resumes.append("after")
+    process = sim.process(sleeper())
+    sim.schedule_callback(1.0, lambda: process.interrupt())
+    sim.run()
+    assert resumes == ["interrupt", "after"]
+
+
+def test_yielding_non_event_is_an_error(sim: Simulator):
+    def bad():
+        yield 42
+    process = sim.process(bad())
+    with pytest.raises(TypeError, match="non-event"):
+        sim.run(process)
+
+
+def test_process_waits_on_another_process(sim: Simulator):
+    def inner():
+        yield sim.timeout(4.0)
+        return "inner-result"
+    def outer():
+        result = yield sim.process(inner())
+        return f"outer({result})"
+    assert sim.run(sim.process(outer())) == "outer(inner-result)"
+    assert sim.now == 4.0
+
+
+def test_nonstarted_generator_required(sim: Simulator):
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)  # type: ignore[arg-type]

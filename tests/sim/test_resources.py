@@ -1,0 +1,86 @@
+"""Unit tests for counted resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Interrupt, Resource, Simulator
+
+
+def test_grants_up_to_capacity_immediately(sim: Simulator):
+    resource = Resource(sim, capacity=2)
+    assert resource.request().triggered
+    assert resource.request().triggered
+    third = resource.request()
+    assert not third.triggered
+    assert resource.queue_length == 1
+
+
+def test_release_hands_to_waiter_fifo(sim: Simulator):
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    first_waiter = resource.request()
+    second_waiter = resource.request()
+    resource.release()
+    sim.run()
+    assert first_waiter.triggered
+    assert not second_waiter.triggered
+
+
+def test_release_without_request_raises(sim: Simulator):
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_use_serializes_holders(sim: Simulator):
+    resource = Resource(sim, capacity=1, name="nic")
+    finish_times = []
+    def holder():
+        yield from resource.use(10.0)
+        finish_times.append(sim.now)
+    sim.process(holder())
+    sim.process(holder())
+    sim.process(holder())
+    sim.run()
+    assert finish_times == [10.0, 20.0, 30.0]
+    assert resource.busy_time == 30.0
+
+
+def test_use_releases_on_interrupt(sim: Simulator):
+    """A crashed holder must not leak the resource."""
+    resource = Resource(sim, capacity=1)
+    def holder():
+        try:
+            yield from resource.use(100.0)
+        except Interrupt:
+            pass
+    process = sim.process(holder())
+    sim.schedule_callback(5.0, lambda: process.interrupt("crash"))
+    sim.run()
+    assert resource.in_use == 0
+    # And a new user can acquire it.
+    done = []
+    def next_user():
+        yield from resource.use(1.0)
+        done.append(True)
+    sim.process(next_user())
+    sim.run()
+    assert done == [True]
+
+
+def test_capacity_validation(sim: Simulator):
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_parallel_capacity_two(sim: Simulator):
+    resource = Resource(sim, capacity=2)
+    finish_times = []
+    def holder():
+        yield from resource.use(10.0)
+        finish_times.append(sim.now)
+    for _ in range(4):
+        sim.process(holder())
+    sim.run()
+    assert finish_times == [10.0, 10.0, 20.0, 20.0]

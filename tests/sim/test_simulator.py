@@ -1,0 +1,88 @@
+"""Unit tests for the simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_run_until_time_advances_clock(sim: Simulator):
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_run_until_past_time_rejected(sim: Simulator):
+    sim.run(until=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_returns_value(sim: Simulator):
+    event = sim.timeout(4.0, value="v")
+    assert sim.run(event) == "v"
+    assert sim.now == 4.0
+
+
+def test_run_until_event_deadlock_detected(sim: Simulator):
+    never = sim.event()
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run(never)
+
+
+def test_same_time_events_fifo(sim: Simulator):
+    order = []
+    for tag in ("a", "b", "c"):
+        sim.schedule_callback(5.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_events_before_deadline_processed(sim: Simulator):
+    hits = []
+    sim.schedule_callback(3.0, lambda: hits.append(3))
+    sim.schedule_callback(7.0, lambda: hits.append(7))
+    sim.run(until=5.0)
+    assert hits == [3]
+    sim.run(until=10.0)
+    assert hits == [3, 7]
+
+
+def test_negative_delay_rejected(sim: Simulator):
+    with pytest.raises(ValueError):
+        sim.schedule_callback(-1.0, lambda: None)
+
+
+def test_determinism_same_seed():
+    def trace(seed: int) -> list[float]:
+        simulator = Simulator(seed=seed)
+        samples = []
+        def proc():
+            for _ in range(20):
+                yield simulator.timeout(simulator.rng.uniform(0, 10))
+                samples.append(simulator.now)
+        simulator.process(proc())
+        simulator.run()
+        return samples
+    assert trace(7) == trace(7)
+    assert trace(7) != trace(8)
+
+
+def test_max_steps_guard(sim: Simulator):
+    def forever():
+        while True:
+            yield sim.timeout(1.0)
+    sim.process(forever())
+    with pytest.raises(RuntimeError, match="max_steps"):
+        sim.run(max_steps=100)
+
+
+def test_processed_events_counter(sim: Simulator):
+    sim.schedule_callback(1.0, lambda: None)
+    sim.schedule_callback(2.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 2

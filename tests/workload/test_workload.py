@@ -1,0 +1,122 @@
+"""Tests for the Zipfian/YCSB workload generators."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.operations import Read, Write
+from repro.workload import (
+    ScrambledZipfian,
+    UniformGenerator,
+    YCSB_A,
+    YCSB_B,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
+from repro.workload.ycsb import scaled
+
+
+def test_zipfian_ranks_in_range():
+    gen = ZipfianGenerator(1000, theta=0.99)
+    rng = random.Random(0)
+    for _ in range(5000):
+        assert 0 <= gen.next(rng) < 1000
+
+
+def test_zipfian_is_skewed():
+    """θ=0.99 over 1000 items: rank 0 should dominate."""
+    gen = ZipfianGenerator(1000, theta=0.99)
+    rng = random.Random(1)
+    counts = Counter(gen.next(rng) for _ in range(20000))
+    top = counts.most_common(1)[0]
+    assert top[0] == 0
+    assert top[1] > 20000 * 0.05  # far above uniform's 0.1%
+
+
+def test_zipfian_skew_increases_with_theta():
+    rng_a, rng_b = random.Random(2), random.Random(2)
+    mild = ZipfianGenerator(1000, theta=0.5)
+    sharp = ZipfianGenerator(1000, theta=0.99)
+    mild_top = Counter(mild.next(rng_a) for _ in range(10000))[0]
+    sharp_top = Counter(sharp.next(rng_b) for _ in range(10000))[0]
+    assert sharp_top > mild_top
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    gen = ScrambledZipfian(1000, theta=0.99)
+    rng = random.Random(3)
+    counts = Counter(gen.next(rng) for _ in range(20000))
+    hot = counts.most_common(3)
+    ids = [key for key, _ in hot]
+    # Hot ids are not consecutive ranks.
+    assert max(ids) - min(ids) > 5
+    # But skew is preserved.
+    assert hot[0][1] > 20000 * 0.05
+
+
+def test_uniform_generator_covers_space():
+    gen = UniformGenerator(100)
+    rng = random.Random(4)
+    seen = {gen.next(rng) for _ in range(5000)}
+    assert len(seen) == 100
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.0)
+    with pytest.raises(ValueError):
+        UniformGenerator(0)
+
+
+def test_ycsb_a_mix_ratio():
+    stream = scaled(YCSB_A, 1000).generator()
+    rng = random.Random(5)
+    ops = [stream.next_op(rng) for _ in range(4000)]
+    reads = sum(1 for op in ops if isinstance(op, Read))
+    assert 0.45 < reads / len(ops) < 0.55
+
+
+def test_ycsb_b_mix_ratio():
+    stream = scaled(YCSB_B, 1000).generator()
+    rng = random.Random(6)
+    ops = [stream.next_op(rng) for _ in range(4000)]
+    reads = sum(1 for op in ops if isinstance(op, Read))
+    assert 0.92 < reads / len(ops) < 0.98
+
+
+def test_value_size_respected():
+    workload = YcsbWorkload(name="t", read_fraction=0.0, item_count=10,
+                            value_size=100)
+    op = workload.generator().next_op(random.Random(0))
+    assert isinstance(op, Write)
+    assert len(op.value) == 100
+
+
+def test_next_update_always_writes():
+    stream = scaled(YCSB_B, 100).generator()
+    rng = random.Random(7)
+    assert all(isinstance(stream.next_update(rng), Write)
+               for _ in range(100))
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        YcsbWorkload(name="bad", read_fraction=1.5)
+    with pytest.raises(ValueError):
+        YcsbWorkload(name="bad", read_fraction=0.5, distribution="pareto")
+
+
+@given(st.integers(2, 5000), st.floats(0.1, 0.999))
+@settings(max_examples=50)
+def test_property_zipfian_always_in_range(item_count, theta):
+    gen = ZipfianGenerator(item_count, theta)
+    rng = random.Random(0)
+    for _ in range(50):
+        assert 0 <= gen.next(rng) < item_count
