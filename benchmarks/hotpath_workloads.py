@@ -1,0 +1,113 @@
+"""Hot-path microbenchmark drivers (shared by pytest + bench_snapshot).
+
+Three workloads, one per layer the tentpole overhauled:
+
+- **event loop**: same-instant callback bursts — the shape an arriving
+  RPC produces (trigger → dispatch → process resume, all at one
+  instant).  ``drain_events`` times dispatch only (the queue is
+  pre-filled outside the clock); ``schedule_and_drain`` times the full
+  schedule+dispatch round trip.
+- **RPC round trips**: a closed-loop client hammering an echo handler
+  through the full Host/Network/RpcTransport stack.
+- **witness records**: ``WitnessCache.record`` + periodic ``gc`` at the
+  paper's geometry (4096 slots, 4-way) — §5.2 measures ~1.27 M
+  records/s on the real witness; this is our comparable.
+
+Every driver works against any object with the scheduler interface
+(``schedule_callback(delay, fn)`` / ``run()`` / ``processed_events``),
+so the vendored pre-overhaul scheduler in ``tools/_legacy_sim.py`` can
+be measured with the same code.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import typing
+
+
+def _noop() -> None:
+    pass
+
+
+def drain_events(sim_factory: typing.Callable[[], typing.Any],
+                 n_events: int = 400_000, batch: int = 2048
+                 ) -> tuple[int, float]:
+    """Dispatch-only events/s: pre-fill ``batch`` same-instant callbacks,
+    time ``run()`` draining them; repeat.  Returns (events, seconds)."""
+    sim = sim_factory()
+    schedule = sim.schedule_callback
+    run = sim.run
+    elapsed = 0.0
+    for _ in range(max(1, n_events // batch)):
+        for _ in range(batch):
+            schedule(0.0, _noop)
+        started = time.perf_counter()
+        run()
+        elapsed += time.perf_counter() - started
+    return sim.processed_events, elapsed
+
+
+def schedule_and_drain(sim_factory: typing.Callable[[], typing.Any],
+                       n_events: int = 400_000, batch: int = 2048
+                       ) -> tuple[int, float]:
+    """End-to-end events/s: scheduling is inside the timed region."""
+    sim = sim_factory()
+    schedule = sim.schedule_callback
+    run = sim.run
+    started = time.perf_counter()
+    for _ in range(max(1, n_events // batch)):
+        for _ in range(batch):
+            schedule(0.0, _noop)
+        run()
+    return sim.processed_events, time.perf_counter() - started
+
+
+def rpc_roundtrips(n_calls: int = 20_000) -> tuple[int, float]:
+    """Round-trips/s through the full simulated RPC stack."""
+    from repro.net.latency import LatencyModel
+    from repro.net.network import Network
+    from repro.rpc.transport import RpcTransport
+    from repro.sim.distributions import Fixed
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=0)
+    network = Network(sim, latency=LatencyModel(Fixed(2.0)))
+    client_host = network.add_host("client")
+    server_host = network.add_host("server")
+    client = RpcTransport(client_host)
+    server = RpcTransport(server_host)
+    server.register("echo", lambda args, ctx: args)
+
+    def loop():
+        for i in range(n_calls):
+            yield client.call("server", "echo", i)
+
+    done = sim.process(loop())
+    started = time.perf_counter()
+    sim.run(done)
+    return n_calls, time.perf_counter() - started
+
+
+def witness_records(n_records: int = 200_000, slots: int = 4096,
+                    associativity: int = 4, gc_every: int = 2048
+                    ) -> tuple[int, float]:
+    """records/s into the paper-geometry witness cache (accepts only)."""
+    from repro.core.witness_cache import WitnessCache
+
+    rng = random.Random(0)
+    hashes = [rng.getrandbits(64) for _ in range(n_records)]
+    cache = WitnessCache(slots=slots, associativity=associativity)
+    record = cache.record
+    gc = cache.gc
+    pending: list[tuple[int, tuple[int, int]]] = []
+    started = time.perf_counter()
+    for i, key_hash in enumerate(hashes):
+        rpc_id = (1, i)
+        if record((key_hash,), rpc_id, "req"):
+            pending.append((key_hash, rpc_id))
+        if len(pending) >= gc_every:
+            gc(pending)
+            pending.clear()
+    elapsed = time.perf_counter() - started
+    return n_records, elapsed

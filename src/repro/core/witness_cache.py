@@ -2,7 +2,8 @@
 
 Recording is deliberately cache-like so a witness burns almost no CPU:
 a request on key ``k`` maps to set ``hash(k) mod n_sets``; the witness
-scans that set's ``associativity`` slots and
+probes that set (an O(1) ``{key_hash: position}`` index over its
+``associativity`` slots) and
 
 - **rejects** if any occupied slot holds a *different* request with the
   same 64-bit key hash (not commutative — §3.2.2), or
@@ -27,7 +28,7 @@ import dataclasses
 import typing
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class WitnessRecord:
     """One slot's contents."""
 
@@ -55,6 +56,11 @@ class WitnessCache:
         self.stale_threshold = stale_threshold
         self._sets: list[list[WitnessRecord | None]] = [
             [None] * associativity for _ in range(self.n_sets)]
+        #: per-set {key_hash: slot position} — because accepted requests
+        #: are pairwise commutative, a key hash occupies at most one slot
+        #: per set, so record/commutes_with/gc are O(keys) dict lookups
+        #: instead of O(keys × associativity) scans.
+        self._index: list[dict[int, int]] = [{} for _ in range(self.n_sets)]
         self._gc_rounds = 0
         #: rejected-against records suspected as uncollected garbage,
         #: keyed by (key_hash, rpc_id); drained by the next gc response
@@ -76,39 +82,63 @@ class WitnessCache:
         """
         if not key_hashes:
             raise ValueError("record() needs at least one key hash")
+        if len(key_hashes) == 1:
+            # Single-key fast path: the overwhelmingly common shape
+            # (every basic update touches one object, §4.2).
+            key_hash = key_hashes[0]
+            set_index = key_hash % self.n_sets
+            index = self._index[set_index]
+            position = index.get(key_hash)
+            if position is not None:
+                slot = self._sets[set_index][position]
+                if slot.rpc_id == rpc_id:
+                    self.accepts += 1  # idempotent retry
+                    return True
+                self._note_suspect(slot)
+                self.rejects_commutativity += 1
+                return False
+            if len(index) >= self.associativity:
+                self.rejects_capacity += 1
+                return False
+            row = self._sets[set_index]
+            position = row.index(None)  # lowest free way, as before
+            row[position] = WitnessRecord(key_hash, rpc_id, request,
+                                          self._gc_rounds)
+            index[key_hash] = position
+            self.accepts += 1
+            return True
+        # A request that touches the same key twice needs only one slot
+        # for it; dedupe up front so the capacity check doesn't demand
+        # free slots pass 2 will never consume.
+        unique_hashes: typing.Iterable[int] = dict.fromkeys(key_hashes)
         # Pass 1: commutativity + capacity check over every affected set.
         needed_per_set: dict[int, int] = {}
-        for key_hash in key_hashes:
+        for key_hash in unique_hashes:
             set_index = key_hash % self.n_sets
-            already_present = False
-            for slot in self._sets[set_index]:
-                if slot is not None and slot.key_hash == key_hash:
-                    if slot.rpc_id == rpc_id:
-                        already_present = True  # idempotent retry
-                        break
-                    self._note_suspect(slot)
-                    self.rejects_commutativity += 1
-                    return False
-            if not already_present:
-                needed_per_set[set_index] = needed_per_set.get(set_index, 0) + 1
+            position = self._index[set_index].get(key_hash)
+            if position is not None:
+                slot = self._sets[set_index][position]
+                if slot.rpc_id == rpc_id:
+                    continue  # idempotent retry
+                self._note_suspect(slot)
+                self.rejects_commutativity += 1
+                return False
+            needed_per_set[set_index] = needed_per_set.get(set_index, 0) + 1
         for set_index, needed in needed_per_set.items():
-            free = sum(1 for slot in self._sets[set_index] if slot is None)
-            if free < needed:
+            if self.associativity - len(self._index[set_index]) < needed:
                 self.rejects_capacity += 1
                 return False
         # Pass 2: write one slot per key (all-or-nothing guaranteed above).
-        for key_hash in key_hashes:
+        for key_hash in unique_hashes:
             set_index = key_hash % self.n_sets
-            row = self._sets[set_index]
-            if any(slot is not None and slot.key_hash == key_hash
-                   for slot in row):
+            index = self._index[set_index]
+            if key_hash in index:
                 continue  # idempotent duplicate for this key
-            for position, slot in enumerate(row):
-                if slot is None:
-                    row[position] = WitnessRecord(
-                        key_hash=key_hash, rpc_id=rpc_id, request=request,
-                        gc_generation=self._gc_rounds)
-                    break
+            row = self._sets[set_index]
+            position = row.index(None)  # lowest free way, as before
+            row[position] = WitnessRecord(key_hash, rpc_id, request,
+                                          self._gc_rounds)
+            index[key_hash] = position
         self.accepts += 1
         return True
 
@@ -123,9 +153,7 @@ class WitnessCache:
         """Would an operation on these keys commute with every saved
         request?  (Used by readers checking backup freshness.)"""
         for key_hash in key_hashes:
-            row = self._sets[key_hash % self.n_sets]
-            if any(slot is not None and slot.key_hash == key_hash
-                   for slot in row):
+            if key_hash in self._index[key_hash % self.n_sets]:
                 return False
         return True
 
@@ -141,14 +169,21 @@ class WitnessCache:
         garbage accumulated since the last gc (drained on return).
         """
         self._gc_rounds += 1
+        n_sets = self.n_sets
+        sets = self._sets
+        indexes = self._index
+        suspects = self._suspects
         for key_hash, rpc_id in pairs:
-            row = self._sets[key_hash % self.n_sets]
-            for position, slot in enumerate(row):
-                if (slot is not None and slot.key_hash == key_hash
-                        and slot.rpc_id == rpc_id):
+            set_index = key_hash % n_sets
+            index = indexes[set_index]
+            position = index.get(key_hash)
+            if position is not None:
+                row = sets[set_index]
+                if row[position].rpc_id == rpc_id:
                     row[position] = None
-                    break
-            self._suspects.pop((key_hash, rpc_id), None)
+                    del index[key_hash]
+            if suspects:
+                suspects.pop((key_hash, rpc_id), None)
         stale = list(self._suspects.values())
         self._suspects.clear()
         return stale
@@ -167,6 +202,7 @@ class WitnessCache:
 
     def clear(self) -> None:
         self._sets = [[None] * self.associativity for _ in range(self.n_sets)]
+        self._index = [{} for _ in range(self.n_sets)]
         self._suspects.clear()
         self._gc_rounds = 0
 
@@ -174,7 +210,7 @@ class WitnessCache:
     # inspection
     # ------------------------------------------------------------------
     def occupied_slots(self) -> int:
-        return sum(1 for row in self._sets for slot in row if slot is not None)
+        return sum(len(index) for index in self._index)
 
     @property
     def gc_rounds(self) -> int:

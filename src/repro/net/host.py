@@ -137,12 +137,14 @@ class Host:
         self._rx_free_at = done
         if self.shared_dispatch:
             self._nic_free_at = max(self._nic_free_at, done)
-        incarnation = self.incarnation
-        def dispatch() -> None:
-            if self.alive and self.incarnation == incarnation \
-                    and self._message_handler is not None:
-                self._message_handler(message)
-        self.sim.schedule_callback(done - now, dispatch)
+        self.sim.schedule_callback(done - now, self._dispatch_rx, message,
+                                   self.incarnation)
+
+    def _dispatch_rx(self, message: "typing.Any", incarnation: int) -> None:
+        """RX-path completion; drops messages from a previous life."""
+        if self.alive and self.incarnation == incarnation \
+                and self._message_handler is not None:
+            self._message_handler(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "down"

@@ -107,23 +107,22 @@ class Network:
         if dst not in self.hosts:
             raise KeyError(f"unknown destination host: {dst}")
         self.stats.record_send(src.name, size_bytes)
-        if self.taps:
-            tap_message = Message(src=src.name, dst=dst, payload=payload,
-                                  size_bytes=size_bytes, sent_at=self.sim.now)
-            for tap in self.taps:
-                tap(tap_message)
+        # Built once: the same instance feeds the taps (documented as
+        # non-mutating) and, if the message survives, delivery.
+        message = Message(src=src.name, dst=dst, payload=payload,
+                          size_bytes=size_bytes, sent_at=self.sim.now)
+        for tap in self.taps:
+            tap(message)
         if self.is_blocked(src.name, dst):
             self.stats.messages_dropped += 1
             return
         if self.drop_rate > 0 and self.sim.rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return
-        message = Message(src=src.name, dst=dst, payload=payload,
-                          size_bytes=size_bytes, sent_at=self.sim.now)
         if src.name == dst:
             wire = 0.0  # loopback
         else:
             wire = self.latency.sample(self.sim.rng, src.name, dst)
         arrival_delay = max(0.0, departs_at - self.sim.now) + wire
         target = self.hosts[dst]
-        self.sim.schedule_callback(arrival_delay, lambda: target._deliver(message))
+        self.sim.schedule_callback(arrival_delay, target._deliver, message)

@@ -14,7 +14,6 @@ name and may be:
 
 from __future__ import annotations
 
-import dataclasses
 import inspect
 import typing
 
@@ -23,21 +22,41 @@ from repro.rpc.errors import AppError, RemoteError, RpcTimeout
 from repro.sim.events import Event
 
 
-@dataclasses.dataclass(frozen=True)
 class RpcRequest:
-    seq: int
-    reply_to: str
-    method: str
-    args: typing.Any
+    """Request frame (slotted: one per simulated RPC — hot path)."""
+
+    __slots__ = ("seq", "reply_to", "method", "args")
+
+    def __init__(self, seq: int, reply_to: str, method: str,
+                 args: typing.Any):
+        self.seq = seq
+        self.reply_to = reply_to
+        self.method = method
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RpcRequest(seq={self.seq}, reply_to={self.reply_to!r}, "
+                f"method={self.method!r}, args={self.args!r})")
 
 
-@dataclasses.dataclass(frozen=True)
 class RpcResponse:
-    seq: int
-    ok: bool
-    value: typing.Any = None
-    error_code: str | None = None
-    error_info: typing.Any = None
+    """Response frame (slotted: one per simulated RPC — hot path)."""
+
+    __slots__ = ("seq", "ok", "value", "error_code", "error_info")
+
+    def __init__(self, seq: int, ok: bool, value: typing.Any = None,
+                 error_code: str | None = None,
+                 error_info: typing.Any = None):
+        self.seq = seq
+        self.ok = ok
+        self.value = value
+        self.error_code = error_code
+        self.error_info = error_info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RpcResponse(seq={self.seq}, ok={self.ok}, "
+                f"value={self.value!r}, error_code={self.error_code!r}, "
+                f"error_info={self.error_info!r})")
 
 
 class RpcContext:
@@ -114,12 +133,15 @@ class RpcTransport:
                              method=method, args=args)
         self.host.send(dst, request, size_bytes=request_size or self.DEFAULT_SIZE)
         if timeout is not None:
-            def expire() -> None:
-                pending = self._pending.pop(seq, None)
-                if pending is not None and not pending.triggered:
-                    pending.fail(RpcTimeout(dst, method, timeout))
-            self.sim.schedule_callback(timeout, expire)
+            self.sim.schedule_callback(timeout, self._expire,
+                                       seq, dst, method, timeout)
         return result
+
+    def _expire(self, seq: int, dst: str, method: str,
+                timeout: float) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None and not pending.triggered:
+            pending.fail(RpcTimeout(dst, method, timeout))
 
     def _on_crash(self) -> None:
         # In-flight calls die with the host; waiting processes were

@@ -94,7 +94,7 @@ class Event:
         """
         if self.callbacks is None:
             # Already dispatched: schedule an immediate delivery.
-            self.sim.schedule_callback(0.0, lambda: callback(self))
+            self.sim.schedule_callback(0.0, callback, self)
         else:
             self.callbacks.append(callback)
 
@@ -140,7 +140,7 @@ class _Condition(Event):
         for event in self.events:
             if event.triggered:
                 # Deliver through the queue for deterministic ordering.
-                self.sim.schedule_callback(0.0, lambda e=event: self._child_done(e))
+                self.sim.schedule_callback(0.0, self._child_done, event)
             else:
                 event.add_callback(self._child_done)
 

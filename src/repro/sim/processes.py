@@ -47,7 +47,7 @@ class Process(Event):
         #: first resume and after completion)
         self.target: Event | None = None
         # Kick off on the next simulator step at the current time.
-        sim.schedule_callback(0.0, lambda: self._resume(None, None))
+        sim.schedule_callback(0.0, self._resume, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -64,7 +64,7 @@ class Process(Event):
         # Detach from the event we were waiting on: when that event
         # triggers later, _resume must ignore it.
         self.target = None
-        self.sim.schedule_callback(0.0, lambda: self._resume(None, Interrupt(cause)))
+        self.sim.schedule_callback(0.0, self._resume, None, Interrupt(cause))
 
     # ------------------------------------------------------------------
     def _on_target(self, event: Event) -> None:
@@ -96,10 +96,8 @@ class Process(Event):
             # Throw back into the generator so the offending yield shows
             # in the traceback.
             self.sim.schedule_callback(
-                0.0,
-                lambda: self._resume(
-                    None, TypeError(f"process yielded non-event: {target!r}")),
-            )
+                0.0, self._resume, None,
+                TypeError(f"process yielded non-event: {target!r}"))
             return
         self.target = target
         target.add_callback(self._on_target)

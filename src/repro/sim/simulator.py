@@ -1,11 +1,27 @@
 """The simulator: virtual clock + event queue.
 
 Time is a float; the repository convention is **microseconds**, matching
-the paper's latency scale.  The queue is a binary heap ordered by
-``(time, sequence)`` where the sequence number makes scheduling order a
-deterministic tiebreaker — two events at the same instant dispatch in
-the order they were scheduled.  Combined with a single seeded RNG this
-makes whole-cluster experiments reproducible.
+the paper's latency scale.  Scheduling order is a deterministic global
+FIFO tiebreaker: two entries at the same instant dispatch in the order
+they were scheduled, tracked by a monotonically increasing sequence
+number.  Combined with a single seeded RNG this makes whole-cluster
+experiments reproducible.
+
+Hot-path design (see docs/PERFORMANCE.md):
+
+- Entries scheduled **at the current instant** (zero-delay callbacks,
+  triggered-event dispatch — the bulk of traffic once an RPC arrives)
+  go on a FIFO *now queue* (a deque) instead of the binary heap, so the
+  common case is O(1) append/popleft rather than O(log n) heap churn.
+- Future entries live on a heap of ``(time, seq, kind, a, b)`` records;
+  no closure is allocated per scheduled item.  ``kind`` selects one of
+  three dispatch shapes inlined in the run loop.
+- The now queue and the heap are merged by sequence number when both
+  hold entries at the current time, so dispatch order is *identical* to
+  a single global ``(time, seq)`` heap (the pre-refactor scheduler);
+  the golden-trace test pins this equivalence.
+- ``run()`` drains entries inline instead of calling ``step()`` per
+  event; ``step()`` remains for callers that single-step.
 """
 
 from __future__ import annotations
@@ -13,9 +29,19 @@ from __future__ import annotations
 import heapq
 import random
 import typing
+from collections import deque
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.processes import Process, ProcessGenerator
+
+#: queue-record kinds: payload slots (a, b) per kind are
+#: CALLBACK → (fn, args tuple), TIMEOUT → (event, value),
+#: DISPATCH → (event, None)
+_CALLBACK = 0
+_TIMEOUT = 1
+_DISPATCH = 2
+
+_INFINITY = float("inf")
 
 
 class Simulator:
@@ -28,7 +54,10 @@ class Simulator:
         #: when True (default) a crashing process fails its Process event
         #: instead of propagating out of run(); tests may disable it.
         self.capture_process_errors = True
-        self._queue: list[tuple[float, int, typing.Any]] = []
+        #: future entries: (time, seq, kind, a, b)
+        self._heap: list[tuple] = []
+        #: entries at the current instant: (seq, kind, a, b)
+        self._now_queue: deque[tuple] = deque()
         self._sequence = 0
         self._processed = 0
 
@@ -56,41 +85,77 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling internals
     # ------------------------------------------------------------------
-    def _push(self, at: float, item: typing.Any) -> None:
-        self._sequence += 1
-        heapq.heappush(self._queue, (at, self._sequence, item))
+    def schedule_callback(self, delay: float,
+                          fn: typing.Callable[..., None],
+                          *args: typing.Any) -> None:
+        """Low-level: run ``fn(*args)`` after ``delay`` µs.
 
-    def schedule_callback(self, delay: float, fn: typing.Callable[[], None]) -> None:
-        """Low-level: run ``fn()`` after ``delay`` µs."""
+        Passing arguments here instead of closing over them keeps the
+        hot path allocation-free (no lambda per scheduled call).
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        self._push(self.now + delay, fn)
+        self._sequence += 1
+        if delay == 0.0:
+            self._now_queue.append((self._sequence, _CALLBACK, fn, args))
+        else:
+            heapq.heappush(self._heap,
+                           (self.now + delay, self._sequence, _CALLBACK,
+                            fn, args))
 
-    def _schedule_timeout(self, event: Timeout, delay: float, value: typing.Any) -> None:
-        def fire() -> None:
-            event._triggered = True
-            event._value = value
-            event._dispatch()
-        self._push(self.now + delay, fire)
+    def _schedule_timeout(self, event: Timeout, delay: float,
+                          value: typing.Any) -> None:
+        self._sequence += 1
+        if delay == 0.0:
+            self._now_queue.append((self._sequence, _TIMEOUT, event, value))
+        else:
+            heapq.heappush(self._heap,
+                           (self.now + delay, self._sequence, _TIMEOUT,
+                            event, value))
 
     def _enqueue_triggered(self, event: Event) -> None:
         """Queue callback dispatch for an event triggered at `now`."""
-        self._push(self.now, event._dispatch)
+        self._sequence += 1
+        self._now_queue.append((self._sequence, _DISPATCH, event, None))
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Dispatch one queue entry; False when the queue is empty."""
-        if not self._queue:
-            return False
-        at, _seq, item = heapq.heappop(self._queue)
-        if at < self.now:  # pragma: no cover - defensive
-            raise RuntimeError("time went backwards")
-        self.now = at
+    def _dispatch(self, kind: int, a: typing.Any, b: typing.Any) -> None:
         self._processed += 1
-        item()
-        return True
+        if kind == _CALLBACK:
+            a(*b)
+        elif kind == _TIMEOUT:
+            a._triggered = True
+            a._value = b
+            a._dispatch()
+        else:
+            a._dispatch()
+
+    def step(self) -> bool:
+        """Dispatch one queue entry; False when the queue is empty.
+
+        The now queue (entries scheduled at the current instant) and the
+        heap are merged by sequence number so dispatch order matches a
+        single global ``(time, seq)`` queue exactly.
+        """
+        now_queue = self._now_queue
+        heap = self._heap
+        if now_queue:
+            if heap and heap[0][0] <= self.now and heap[0][1] < now_queue[0][0]:
+                _at, _seq, kind, a, b = heapq.heappop(heap)
+            else:
+                _seq, kind, a, b = now_queue.popleft()
+            self._dispatch(kind, a, b)
+            return True
+        if heap:
+            at, _seq, kind, a, b = heapq.heappop(heap)
+            if at < self.now:  # pragma: no cover - defensive
+                raise RuntimeError("time went backwards")
+            self.now = at
+            self._dispatch(kind, a, b)
+            return True
+        return False
 
     def run(self, until: float | Event | None = None,
             max_steps: int | None = None) -> typing.Any:
@@ -105,40 +170,83 @@ class Simulator:
           value (or raise its failure).  Raises ``RuntimeError`` if the
           queue drains first — that means deadlock.
         """
+        # The three modes share one inlined drain loop; per-event work is
+        # a merged pop plus a three-way kind switch, with no per-event
+        # method call.  Locals are bound up front — this loop is the
+        # hottest code in the repository.
+        now_queue = self._now_queue
+        popleft = now_queue.popleft
+        heap = self._heap
+        heappop = heapq.heappop
+        bound = _INFINITY if max_steps is None else max_steps
         steps = 0
+
         if isinstance(until, Event):
-            while not until.triggered:
-                if not self.step():
-                    raise RuntimeError(
-                        f"simulation deadlocked waiting for {until!r}")
+            deadline = _INFINITY
+            stop_event: Event | None = until
+        elif until is None:
+            deadline = _INFINITY
+            stop_event = None
+        else:
+            deadline = float(until)
+            stop_event = None
+            if deadline < self.now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self.now})")
+
+        # ``steps`` is flushed into the processed counter in the finally
+        # block (additive, so nested run()/step() calls stay correct).
+        try:
+            while True:
+                if stop_event is not None and stop_event._triggered:
+                    return stop_event.value
+                if now_queue:
+                    # Merge: a heap entry at the current time with a
+                    # smaller sequence number was scheduled earlier and
+                    # must win.
+                    if heap and heap[0][0] <= self.now \
+                            and heap[0][1] < now_queue[0][0]:
+                        entry = heappop(heap)
+                        kind, a, b = entry[2], entry[3], entry[4]
+                    else:
+                        _seq, kind, a, b = popleft()
+                elif heap and heap[0][0] <= deadline:
+                    at, _seq, kind, a, b = heappop(heap)
+                    if at < self.now:  # pragma: no cover - defensive
+                        raise RuntimeError("time went backwards")
+                    self.now = at
+                else:
+                    break
+                # Count before dispatching (as step() does) so an entry
+                # whose callback raises is still counted as processed.
                 steps += 1
-                if max_steps is not None and steps >= max_steps:
+                if kind == _CALLBACK:
+                    a(*b)
+                elif kind == _TIMEOUT:
+                    a._triggered = True
+                    a._value = b
+                    a._dispatch()
+                else:
+                    a._dispatch()
+                if steps >= bound:
                     raise RuntimeError(f"exceeded max_steps={max_steps}")
-            return until.value
-        if until is None:
-            while self.step():
-                steps += 1
-                if max_steps is not None and steps >= max_steps:
-                    raise RuntimeError(f"exceeded max_steps={max_steps}")
-            return None
-        deadline = float(until)
-        if deadline < self.now:
-            raise ValueError(f"until={deadline} is in the past (now={self.now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
-            steps += 1
-            if max_steps is not None and steps >= max_steps:
-                raise RuntimeError(f"exceeded max_steps={max_steps}")
-        self.now = deadline
+        finally:
+            self._processed += steps
+
+        if stop_event is not None:
+            raise RuntimeError(
+                f"simulation deadlocked waiting for {stop_event!r}")
+        if deadline is not _INFINITY:
+            self.now = deadline
         return None
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._now_queue) + len(self._heap)
 
     @property
     def processed_events(self) -> int:
         return self._processed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self.now} queue={len(self._queue)}>"
+        return f"<Simulator t={self.now} queue={self.queue_length}>"

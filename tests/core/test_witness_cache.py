@@ -77,6 +77,24 @@ def test_multikey_occupies_one_slot_per_key():
     assert cache.all_requests() == ["multi"]  # deduplicated
 
 
+def test_multikey_repeated_key_hash_needs_one_slot():
+    """Regression: a request listing the same key twice (e.g. a
+    transaction reading and writing one object) needs ONE slot for it.
+    The capacity pre-check used to count the duplicate twice and reject
+    with a free slot available, even though the write pass only ever
+    consumed one."""
+    cache = WitnessCache(slots=4, associativity=2)  # 2 sets of 2
+    assert cache.record([0], rid(1), "a")  # set 0: one slot left
+    # key 2 repeated: needs one slot in set 0, and set 0 has one free.
+    assert cache.record([2, 2], rid(2), "dup")
+    assert cache.occupied_slots() == 2
+    assert cache.rejects_capacity == 0
+    # gc of the single underlying record frees the slot.
+    cache.gc([(2, rid(2))])
+    assert cache.occupied_slots() == 1
+    assert cache.commutes_with([2])
+
+
 def test_multikey_two_keys_same_set_needs_two_slots():
     cache = WitnessCache(slots=4, associativity=2)  # 2 sets of 2
     assert cache.record([0], rid(1), "a")  # set 0: one slot left

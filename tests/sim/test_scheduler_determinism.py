@@ -1,0 +1,196 @@
+"""Scheduler determinism: the hot-path overhaul must not change virtual
+time.
+
+The now-queue scheduler (deque for same-instant entries, record-carrying
+heap for the future) must dispatch in *exactly* the order of the seed
+scheduler's single global ``(time, seq)`` heap.  Two layers of defence:
+
+- unit tests pinning same-instant FIFO ordering across every scheduling
+  shape (timeouts, zero-delay callbacks, event dispatch, late
+  ``add_callback``), including the subtle merge case where a heap entry
+  and a now-queue entry coexist at the same instant;
+- a golden-trace test: a seeded YCSB-style experiment whose end state
+  ``(now, processed_events, per-host traffic stats)`` was captured on
+  the seed scheduler (commit 494d673) and must stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import curp_config
+from repro.harness.builder import build_cluster
+from repro.sim import Simulator
+from repro.workload import run_closed_loop
+from repro.workload.ycsb import YcsbWorkload
+
+
+# ----------------------------------------------------------------------
+# same-instant FIFO ordering pins
+# ----------------------------------------------------------------------
+def test_same_instant_timeouts_fifo(sim: Simulator):
+    order = []
+    for tag in ("a", "b", "c"):
+        sim.timeout(5.0, value=tag).add_callback(
+            lambda e: order.append(e.value))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_zero_delay_timeouts_fifo(sim: Simulator):
+    order = []
+    for tag in ("a", "b", "c"):
+        sim.timeout(0.0, value=tag).add_callback(
+            lambda e: order.append(e.value))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_zero_delay_callbacks_interleave_with_timeouts(sim: Simulator):
+    """Scheduling order is the tiebreaker regardless of entry shape."""
+    order = []
+    sim.timeout(0.0, value="t1").add_callback(lambda e: order.append("t1"))
+    sim.schedule_callback(0.0, order.append, "cb")
+    sim.timeout(0.0, value="t2").add_callback(lambda e: order.append("t2"))
+    sim.run()
+    assert order == ["t1", "cb", "t2"]
+
+
+def test_heap_entry_wins_over_later_now_entry(sim: Simulator):
+    """The merge case: a callback dispatching at t=5 schedules a
+    zero-delay callback; a *previously scheduled* t=5 entry still on
+    the heap must dispatch first (it has the smaller sequence number).
+    The seed scheduler's global heap did this implicitly; the now-queue
+    must reproduce it."""
+    order = []
+    sim.schedule_callback(5.0, lambda: (order.append("a"),
+                                        sim.schedule_callback(
+                                            0.0, order.append, "zero")))
+    sim.schedule_callback(5.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "zero"]
+
+
+def test_event_dispatch_ordered_after_earlier_same_time_entries(
+        sim: Simulator):
+    """succeed() at t=5 queues dispatch *behind* a t=5 heap entry that
+    was scheduled earlier."""
+    order = []
+    event = sim.event()
+    event.add_callback(lambda e: order.append("event"))
+    sim.schedule_callback(5.0, lambda: (order.append("first"),
+                                        event.succeed()))
+    sim.schedule_callback(5.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "event"]
+
+
+def test_add_callback_after_dispatch_delivers_at_same_time(sim: Simulator):
+    """A callback added after the event already ran its callbacks fires
+    on a later entry at the *same* virtual time, after entries that were
+    queued before it."""
+    order = []
+    event = sim.timeout(3.0)
+
+    def late_subscribe() -> None:
+        order.append("subscribing")
+        sim.schedule_callback(0.0, order.append, "queued-before")
+        event.add_callback(lambda e: order.append("late-callback"))
+
+    event.add_callback(lambda e: late_subscribe())
+    sim.run()
+    assert order == ["subscribing", "queued-before", "late-callback"]
+    assert sim.now == 3.0
+
+
+def test_schedule_callback_arg_form(sim: Simulator):
+    seen = []
+    sim.schedule_callback(1.0, seen.append, "x")
+    sim.schedule_callback(2.0, lambda a, b: seen.append((a, b)), 1, 2)
+    sim.run()
+    assert seen == ["x", (1, 2)]
+
+
+def test_run_until_deadline_drains_now_queue_at_deadline(sim: Simulator):
+    """Entries that keep spawning zero-delay work exactly at the
+    deadline are all processed before the clock stops."""
+    order = []
+    sim.schedule_callback(5.0, lambda: sim.schedule_callback(
+        0.0, lambda: sim.schedule_callback(0.0, order.append, "nested")))
+    sim.run(until=5.0)
+    assert order == ["nested"]
+    assert sim.now == 5.0
+
+
+def test_step_merges_now_queue_and_heap(sim: Simulator):
+    """Single-stepping obeys the same merged order as run()."""
+    order = []
+    sim.schedule_callback(5.0, lambda: (order.append("a"),
+                                        sim.schedule_callback(
+                                            0.0, order.append, "zero")))
+    sim.schedule_callback(5.0, order.append, "b")
+    while sim.step():
+        pass
+    assert order == ["a", "b", "zero"]
+
+
+def test_processed_events_exact_across_nested_runs(sim: Simulator):
+    """run() flushes its step count additively, so a callback that
+    re-enters the scheduler (as harness code does) must not lose
+    counts."""
+    def inner() -> None:
+        sim.schedule_callback(0.0, lambda: None)
+        sim.run()  # re-enter the scheduler mid-dispatch
+
+    sim.schedule_callback(1.0, inner)
+    sim.schedule_callback(2.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 3
+
+
+# ----------------------------------------------------------------------
+# golden trace
+# ----------------------------------------------------------------------
+#: end state of the experiment below, captured on the seed scheduler
+#: (commit 494d673, single global heap of closures).  If this test
+#: fails, the scheduler changed *virtual-time* behaviour — that is a
+#: correctness regression, not a perf tradeoff.
+GOLDEN = {
+    "now": 4532.0,
+    "processed_events": 49027,
+    "operations": 2690,
+    "messages_sent": 14690,
+    "bytes_sent": 2357020,
+    "messages_dropped": 0,
+    "per_host_sent": {
+        "client1": 1585,
+        "client2": 1620,
+        "client3": 1591,
+        "client4": 1593,
+        "coordinator": 8,
+        "m0-backup0": 239,
+        "m0-backup1": 239,
+        "m0-host": 4123,
+        "m0-witness0": 1846,
+        "m0-witness1": 1846,
+    },
+}
+
+
+def test_golden_trace_seeded_ycsb_unchanged():
+    cluster = build_cluster(curp_config(2), seed=1234)
+    workload = YcsbWorkload(name="golden", read_fraction=0.5,
+                            item_count=1000, value_size=16,
+                            distribution="zipfian")
+    result = run_closed_loop(cluster, workload, n_clients=4,
+                             duration=3_000.0, warmup=500.0)
+    cluster.settle(1_000.0)
+    observed = {
+        "now": cluster.sim.now,
+        "processed_events": cluster.sim.processed_events,
+        "operations": result["operations"],
+        "messages_sent": cluster.network.stats.messages_sent,
+        "bytes_sent": cluster.network.stats.bytes_sent,
+        "messages_dropped": cluster.network.stats.messages_dropped,
+        "per_host_sent": dict(sorted(
+            cluster.network.stats.per_host_sent.items())),
+    }
+    assert observed == GOLDEN

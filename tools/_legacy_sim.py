@@ -1,0 +1,61 @@
+"""Frozen copy of the pre-overhaul scheduler (perf baseline only).
+
+This is the seed repository's ``repro.sim.simulator.Simulator`` hot
+path, kept verbatim so ``tools/bench_snapshot.py`` can measure the
+current scheduler against the exact code it replaced: a single binary
+heap ordered by ``(time, sequence)`` whose entries are zero-argument
+callables (so every same-instant dispatch costs a heap push/pop and
+every timeout allocates a closure), drained through a per-event
+``step()`` call.
+
+Do not import this from ``src/`` — it exists only to keep the
+events/s baseline in ``BENCH_core.json`` honest across future PRs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+
+class LegacySimulator:
+    """The seed event loop: heap of closures, one step() per event."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.seed = seed
+        self._queue: list[tuple[float, int, typing.Any]] = []
+        self._sequence = 0
+        self._processed = 0
+
+    def _push(self, at: float, item: typing.Any) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (at, self._sequence, item))
+
+    def schedule_callback(self, delay: float, fn: typing.Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._push(self.now + delay, fn)
+
+    def step(self) -> bool:
+        if not self._queue:
+            return False
+        at, _seq, item = heapq.heappop(self._queue)
+        if at < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("time went backwards")
+        self.now = at
+        self._processed += 1
+        item()
+        return True
+
+    def run(self, until: typing.Any = None, max_steps: int | None = None) -> None:
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                raise RuntimeError(f"exceeded max_steps={max_steps}")
+        return None
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed

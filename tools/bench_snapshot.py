@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Snapshot the core hot-path numbers into ``BENCH_core.json``.
+
+Usage (from the repository root)::
+
+    python tools/bench_snapshot.py [--out BENCH_core.json] [--scale 1.0]
+
+Measures, in wall-clock terms:
+
+- event-loop dispatch events/s and schedule+dispatch events/s, for the
+  current scheduler AND the vendored pre-overhaul scheduler
+  (``tools/_legacy_sim.py``) — the recorded speedups are the tentpole's
+  acceptance numbers;
+- RPC round-trips/s through the full simulated stack;
+- witness-cache records/s at the paper's geometry (§5.2 comparable:
+  ~1.27 M records/s on the real witness);
+- a Figure 6-shaped smoke run (one CURP f=3 closed loop) so future PRs
+  can see end-to-end wall-clock drift, not just microbenches.
+
+CI runs this and uploads the JSON as an artifact; committed snapshots
+mark the trajectory PR by PR (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from benchmarks.hotpath_workloads import (  # noqa: E402
+    drain_events,
+    rpc_roundtrips,
+    schedule_and_drain,
+    witness_records,
+)
+from tools._legacy_sim import LegacySimulator  # noqa: E402
+
+from repro.sim.simulator import Simulator  # noqa: E402
+
+
+def _best_rate(fn, repeats: int = 3) -> float:
+    """Best-of-N rate (units/s); best-of filters scheduler jitter."""
+    best = 0.0
+    for _ in range(repeats):
+        units, elapsed = fn()
+        best = max(best, units / elapsed)
+    return best
+
+
+def _fig6_smoke() -> dict:
+    from repro.baselines import curp_config
+    from repro.harness.builder import build_cluster
+    from repro.harness.profiles import RAMCLOUD_PROFILE
+    from repro.workload import run_closed_loop
+    from repro.workload.ycsb import YCSB_WRITE_ONLY
+
+    started = time.perf_counter()
+    cluster = build_cluster(curp_config(3), profile=RAMCLOUD_PROFILE, seed=2)
+    result = run_closed_loop(cluster, YCSB_WRITE_ONLY, n_clients=16,
+                             duration=2_500.0, warmup=800.0)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": round(elapsed, 3),
+        "operations": result["operations"],
+        "virtual_events": cluster.sim.processed_events,
+        "events_per_sec": round(cluster.sim.processed_events / elapsed),
+    }
+
+
+def snapshot(scale: float = 1.0) -> dict:
+    n_events = int(400_000 * scale)
+    n_calls = int(20_000 * scale)
+    n_records = int(200_000 * scale)
+
+    dispatch = _best_rate(lambda: drain_events(Simulator, n_events=n_events))
+    dispatch_legacy = _best_rate(
+        lambda: drain_events(LegacySimulator, n_events=n_events))
+    full = _best_rate(
+        lambda: schedule_and_drain(Simulator, n_events=n_events))
+    full_legacy = _best_rate(
+        lambda: schedule_and_drain(LegacySimulator, n_events=n_events))
+
+    return {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scale": scale,
+        "event_loop": {
+            "events_per_sec": round(dispatch),
+            "legacy_events_per_sec": round(dispatch_legacy),
+            "speedup_vs_legacy": round(dispatch / dispatch_legacy, 2),
+            "schedule_dispatch_events_per_sec": round(full),
+            "legacy_schedule_dispatch_events_per_sec": round(full_legacy),
+            "schedule_dispatch_speedup_vs_legacy": round(
+                full / full_legacy, 2),
+        },
+        "rpc": {
+            "roundtrips_per_sec": round(
+                _best_rate(lambda: rpc_roundtrips(n_calls=n_calls))),
+        },
+        "witness": {
+            "records_per_sec": round(
+                _best_rate(lambda: witness_records(n_records=n_records))),
+            "paper_target_records_per_sec": 1_270_000,
+        },
+        "fig6_smoke": _fig6_smoke(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_core.json"))
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    data = snapshot(scale=args.scale)
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10).stdout.strip()
+        if commit:
+            data["commit"] = commit
+    except OSError:
+        pass
+
+    Path(args.out).write_text(json.dumps(data, indent=2) + "\n")
+    print(json.dumps(data, indent=2))
+
+    speedup = data["event_loop"]["speedup_vs_legacy"]
+    print(f"\nevent-loop dispatch speedup vs pre-overhaul scheduler: "
+          f"{speedup}x (target >= 3x)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
