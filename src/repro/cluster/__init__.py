@@ -10,6 +10,9 @@ package is that manager:
   recovery (§3.3), witness replacement (§3.6) and data migration.
 - :class:`~repro.cluster.failure_detector.FailureDetector` — optional
   ping-based crash detection that triggers recovery automatically.
+- :class:`~repro.cluster.shard_map.ShardMap` — immutable, sorted
+  key-hash → tablet → master routing snapshot for sharded multi-master
+  clusters; clients cache it and bisect instead of scanning tablets.
 
 The coordinator itself runs on a single host here; the paper assumes it
 is made fault tolerant with a consensus protocol (see
@@ -18,5 +21,6 @@ is made fault tolerant with a consensus protocol (see
 
 from repro.cluster.coordinator import Coordinator
 from repro.cluster.failure_detector import FailureDetector
+from repro.cluster.shard_map import ShardMap
 
-__all__ = ["Coordinator", "FailureDetector"]
+__all__ = ["Coordinator", "FailureDetector", "ShardMap"]

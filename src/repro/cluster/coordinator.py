@@ -22,6 +22,7 @@ from repro.core.master import CurpMaster, FULL_RANGE
 from repro.core.messages import ClusterView, MasterInfo, StartArgs
 from repro.core.recovery import RecoveryFailed, build_recovery_master, recover
 from repro.core.witness import WitnessServer
+from repro.cluster.shard_map import ShardMap
 from repro.kvstore.backup import BackupServer
 from repro.rifl import LeaseServer
 from repro.rpc import RpcError, RpcTransport
@@ -64,6 +65,8 @@ class Coordinator:
         #: backup dies during/before a master recovery
         self.backup_spares: list["Host"] = []
         self.config_version = 0
+        #: lazily rebuilt routing snapshot; invalidated by version bumps
+        self._shard_map: ShardMap | None = None
         self.transport = RpcTransport(host)
         self.transport.register("register_client", self._handle_register_client)
         self.transport.register("renew_lease", self._handle_renew_lease)
@@ -81,6 +84,18 @@ class Coordinator:
     def _handle_get_config(self, args, ctx):
         return self.current_view()
 
+    @property
+    def shard_map(self) -> ShardMap:
+        """The routing snapshot for the current configuration version."""
+        if (self._shard_map is None
+                or self._shard_map.version != self.config_version):
+            tablets = [(lo, hi, managed.master_id)
+                       for managed in self.masters.values()
+                       for lo, hi in managed.owned_ranges]
+            self._shard_map = ShardMap.from_tablets(
+                tablets, version=self.config_version)
+        return self._shard_map
+
     def current_view(self) -> ClusterView:
         tablets = []
         masters = {}
@@ -94,7 +109,8 @@ class Coordinator:
                 witness_list_version=managed.witness_list_version,
                 epoch=managed.epoch)
         return ClusterView(tablets=tuple(tablets), masters=masters,
-                           version=self.config_version)
+                           version=self.config_version,
+                           shard_map=self.shard_map)
 
     # ------------------------------------------------------------------
     # cluster building (setup-time, direct construction)

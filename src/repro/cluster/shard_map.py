@@ -1,0 +1,88 @@
+"""Consistent key → tablet → master routing for sharded clusters.
+
+The coordinator owns one :class:`ShardMap` per configuration version:
+an immutable, sorted snapshot of tablet ownership.  Clients cache it
+inside their :class:`~repro.core.messages.ClusterView` and route every
+operation with an O(log n) bisect over the tablet lower bounds, keyed
+on :func:`repro.kvstore.hashing.key_hash` — the same 64-bit hash the
+witnesses compare, so routing and commutativity agree on key identity.
+
+A client holding a stale map is bounced by the owning master with a
+``WRONG_SHARD`` error (the sharded analogue of §3.6's stale-witness
+version check); it refetches the map from the coordinator and retries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+from repro.kvstore.hashing import key_hash
+
+FULL_SPAN = 2 ** 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardMap:
+    """Immutable tablet-ownership snapshot, sorted for fast routing.
+
+    ``starts``/``ends``/``owners`` are parallel tuples: tablet i covers
+    key hashes in ``[starts[i], ends[i])`` and is owned by master
+    ``owners[i]``.  Tablets never overlap; gaps are legal mid-migration
+    and route to ``None``.
+    """
+
+    version: int
+    starts: tuple[int, ...]
+    ends: tuple[int, ...]
+    owners: tuple[str, ...]
+
+    @classmethod
+    def from_tablets(cls, tablets: typing.Iterable[tuple[int, int, str]],
+                     version: int = 0) -> "ShardMap":
+        """Build from (lo, hi, master_id) triples in any order."""
+        ordered = sorted(tablets)
+        starts = tuple(lo for lo, _hi, _owner in ordered)
+        ends = tuple(hi for _lo, hi, _owner in ordered)
+        owners = tuple(owner for _lo, _hi, owner in ordered)
+        for i in range(len(ordered)):
+            if starts[i] >= ends[i]:
+                raise ValueError(f"empty tablet {ordered[i]!r}")
+            if i and starts[i] < ends[i - 1]:
+                raise ValueError(
+                    f"overlapping tablets {ordered[i - 1]!r} / {ordered[i]!r}")
+        return cls(version=version, starts=starts, ends=ends, owners=owners)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def master_for_hash(self, key_hash_value: int) -> str | None:
+        index = bisect.bisect_right(self.starts, key_hash_value) - 1
+        if index < 0 or key_hash_value >= self.ends[index]:
+            return None
+        return self.owners[index]
+
+    def master_for_key(self, key: str | bytes) -> str | None:
+        return self.master_for_hash(key_hash(key))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_tablets(self) -> int:
+        return len(self.starts)
+
+    def shard_ids(self) -> tuple[str, ...]:
+        """Distinct owning masters, in first-tablet order."""
+        return tuple(dict.fromkeys(self.owners))
+
+    def tablets(self) -> tuple[tuple[int, int, str], ...]:
+        return tuple(zip(self.starts, self.ends, self.owners))
+
+    def covers_full_range(self) -> bool:
+        """True when every possible key hash routes to some master."""
+        if not self.starts or self.starts[0] != 0 or self.ends[-1] != FULL_SPAN:
+            return False
+        return all(self.ends[i] == self.starts[i + 1]
+                   for i in range(len(self.starts) - 1))

@@ -15,7 +15,13 @@ It then waits for everything and decides:
   the 2-3 RTT slow path;
 - master timed out / errored → refresh the cluster view from the
   coordinator and retry the *same* RpcId (RIFL makes the retry safe,
-  §3.3).
+  §3.3);
+- master replied ``WRONG_SHARD`` → the client's shard map is stale
+  (the key's tablet migrated): gc the witness records the wasted
+  attempt left on the old shard (nothing else can ever reclaim them),
+  refetch the map from the coordinator and retry immediately, with no
+  backoff — one extra coordinator round trip on top of the wasted
+  attempt.
 
 The same class drives the paper's baselines: in SYNC / ASYNC /
 UNREPLICATED modes no witnesses are used and completion follows the
@@ -31,6 +37,7 @@ from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.messages import (
     BackupReadArgs,
     ClusterView,
+    GcArgs,
     MasterInfo,
     ProbeArgs,
     PROBE_COMMUTE,
@@ -195,6 +202,23 @@ class CurpClient:
                 last_error = error
                 if error.code == "STALE_RPC":  # pragma: no cover - guard
                     raise error
+                if error.code == "WRONG_SHARD":
+                    # Stale shard map: the key migrated to another
+                    # master.  Refetch routing from the coordinator and
+                    # retry immediately — no backoff; the extra cost is
+                    # one coordinator round trip.  First free any
+                    # witness slots our concurrent records claimed on
+                    # the old shard: this master will never execute the
+                    # op (so never gc them) and the key's hash no
+                    # longer routes here (so the §4.5 suspect path can
+                    # never reclaim them either).
+                    accepted = [witness for witness, call
+                                in zip(master.witnesses, record_calls)
+                                if results[call]]
+                    self._abort_records(master.master_id, accepted,
+                                        op, rpc_id)
+                    yield from self._refresh_routing()
+                    continue
             else:  # timeout
                 last_error = payload
             yield from self._recover_attempt()
@@ -221,10 +245,35 @@ class CurpClient:
         except RpcError:
             return False
 
+    def _abort_records(self, master_id: str,
+                       witnesses: typing.Sequence[str], op: Operation,
+                       rpc_id) -> None:
+        """Fire-and-forget gc of our own records after an abandoned,
+        mis-routed attempt (the retry goes to a different master)."""
+        if not witnesses:
+            return
+        pairs = tuple((key_hash_value, rpc_id)
+                      for key_hash_value in op.key_hashes())
+        args = GcArgs(master_id=master_id, pairs=pairs)
+        for witness in witnesses:
+            self.host.spawn(self._gc_quietly(witness, args),
+                            name="abort-record-gc")
+
+    def _gc_quietly(self, witness: str, args: GcArgs):
+        try:
+            yield self.transport.call(witness, "gc", args,
+                                      timeout=self.config.rpc_timeout)
+        except RpcError:
+            pass  # witness reset/down: its slots were cleared anyway
+
     def _recover_attempt(self):
         """Between attempts: small backoff, then refresh configuration."""
         if self.config.retry_backoff > 0:
             yield self.sim.timeout(self.config.retry_backoff)
+        yield from self._refresh_routing()
+
+    def _refresh_routing(self):
+        """Refetch the cluster view (shard map included) — no backoff."""
         if self.coordinator is not None:
             try:
                 yield from self._refresh_view()
@@ -278,6 +327,9 @@ class CurpClient:
                 return value, version
             except (AppError, RpcTimeout) as error:
                 last_error = error
+                if isinstance(error, AppError) and error.code == "WRONG_SHARD":
+                    yield from self._refresh_routing()
+                    continue
             yield from self._recover_attempt()
         raise ClientGaveUp(f"read {key!r} failed: {last_error!r}")
 

@@ -58,6 +58,18 @@ class CurpConfig:
     #: this recently triggers a preemptive sync (§4.4); 0 disables
     hot_key_window: float = 0.0
 
+    # -- witness gc batching -------------------------------------------
+    #: 0 = flush witness gc after every completed sync round (one gc RPC
+    #: per witness per round — the paper's cadence).  N > 0 = coalesce
+    #: ready (key hash, RpcId) pairs across sync rounds and send one
+    #: ``gc_batch`` RPC per witness once N pairs accumulate; stragglers
+    #: flush after ``gc_flush_delay`` of quiet.  Batching trades a
+    #: bounded extra witness-slot hold time for ~max_gc_batch /
+    #: min_sync_batch fewer gc RPCs under load.
+    max_gc_batch: int = 0
+    #: quiet time (µs) before leftover coalesced gc pairs are flushed
+    gc_flush_delay: float = 200.0
+
     # -- client behaviour ------------------------------------------------
     #: per-RPC timeout for client operations
     rpc_timeout: float = 2_000.0
@@ -78,6 +90,10 @@ class CurpConfig:
             raise ValueError("witness_slots must be a multiple of associativity")
         if self.min_sync_batch < 1:
             raise ValueError("min_sync_batch must be >= 1")
+        if self.max_gc_batch < 0:
+            raise ValueError("max_gc_batch must be >= 0 (0 disables batching)")
+        if self.gc_flush_delay <= 0:
+            raise ValueError("gc_flush_delay must be > 0")
         if self.mode is ReplicationMode.UNREPLICATED and self.f != 0:
             raise ValueError("unreplicated mode requires f=0")
 

@@ -35,6 +35,7 @@ import typing
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.messages import (
     GcArgs,
+    GcBatchArgs,
     ReadArgs,
     RecordedRequest,
     UpdateArgs,
@@ -73,7 +74,14 @@ class MasterStats:
     conflict_syncs: int = 0
     syncs: int = 0
     synced_entries: int = 0
+    #: gc RPCs actually sent to witnesses — NOT (key hash, RpcId) pairs;
+    #: with batching one RPC collects up to ``max_gc_batch`` pairs
     gc_rpcs: int = 0
+    #: (key hash, RpcId) pairs shipped for collection (per flush, not
+    #: multiplied by the witness fan-out)
+    gc_pairs: int = 0
+    #: batched-gc flushes (each sends one RPC per witness)
+    gc_flushes: int = 0
     stale_suspects_handled: int = 0
     duplicates_filtered: int = 0
     hot_key_syncs: int = 0
@@ -123,6 +131,13 @@ class CurpMaster:
         #: (position, key_hashes, rpc_id) of speculative updates whose
         #: witness records must be garbage collected once synced
         self._pending_gc: list[tuple[int, tuple[int, ...], typing.Any]] = []
+        #: durable (key hash, rpc_id) pairs coalesced across sync rounds,
+        #: awaiting a batched gc flush (max_gc_batch > 0 only)
+        self._gc_ready: list[tuple[int, typing.Any]] = []
+        #: sync rounds harvested into _gc_ready since the last flush
+        self._gc_rounds_pending = 0
+        self._gc_flush_armed = False
+        self._gc_flush_active = False
 
         self.transport = RpcTransport(host)
         self.transport.register("update", self._handle_update)
@@ -152,25 +167,28 @@ class CurpMaster:
     # ------------------------------------------------------------------
     # update path
     # ------------------------------------------------------------------
-    def _check_serviceable(self, witness_list_version: int | None = None) -> None:
+    def _check_serviceable(self) -> None:
         if not self.active:
             raise AppError("NOT_READY", {"master": self.master_id})
         if self.deposed:
             raise AppError("DEPOSED", {"master": self.master_id})
-        if (witness_list_version is not None
-                and witness_list_version != self.witness_list_version):
-            # §3.6: the client recorded on a stale witness list; its
-            # records would not be replayed. Make it refetch and retry.
-            raise AppError("WRONG_WITNESS_VERSION",
-                           {"current": self.witness_list_version})
 
     def _handle_update(self, args: UpdateArgs, ctx):
-        self._check_serviceable(args.witness_list_version)
+        self._check_serviceable()
         op: Operation = args.op
         if not op.is_update:
             raise AppError("BAD_REQUEST", "reads must use the read RPC")
         if not self.owns_all(op.touched_keys()):
-            raise AppError("NOT_OWNER", {"master": self.master_id})
+            # The client routed with a stale shard map: make it refetch
+            # the map from the coordinator and retry.  Routing wins
+            # over the witness-version check below — a mis-routed
+            # client needs a new map, not this master's witness list.
+            raise AppError("WRONG_SHARD", {"master": self.master_id})
+        if args.witness_list_version != self.witness_list_version:
+            # §3.6: the client recorded on a stale witness list; its
+            # records would not be replayed. Make it refetch and retry.
+            raise AppError("WRONG_WITNESS_VERSION",
+                           {"current": self.witness_list_version})
         # RIFL: piggybacked ack then duplicate filtering.
         self.registry.process_ack(args.rpc_id.client_id, args.ack_seq)
         state, saved = self.registry.check(args.rpc_id)
@@ -250,7 +268,7 @@ class CurpMaster:
     def _handle_read(self, args: ReadArgs, ctx):
         self._check_serviceable()
         if not self.owns_all((args.key,)):
-            raise AppError("NOT_OWNER", {"master": self.master_id})
+            raise AppError("WRONG_SHARD", {"master": self.master_id})
         return self._read_process(args, ctx)
 
     def _read_process(self, args: ReadArgs, ctx):
@@ -351,7 +369,18 @@ class CurpMaster:
                 self.stats.synced_entries += len(entries)
                 self._wake_sync_waiters()
                 if self.config.uses_witnesses and self.witnesses:
-                    yield from self._gc_witnesses()
+                    if self.config.max_gc_batch == 0:
+                        # Per-round cadence: one gc RPC per witness per
+                        # completed sync round (§4.5, the paper's shape).
+                        yield from self._gc_witnesses()
+                    else:
+                        # Batched cadence: coalesce durable pairs across
+                        # rounds; only full batches flush inline, the
+                        # rest ride the gc flush timer.
+                        self._harvest_gc()
+                        if (len(self._gc_ready)
+                                >= self.config.max_gc_batch):
+                            yield from self._flush_gc(full_only=True)
                 # Between rounds, honour the minimum batch (§4.4/C.1):
                 # unless someone is blocked waiting, don't start another
                 # sync until min_sync_batch operations accumulated (the
@@ -360,6 +389,8 @@ class CurpMaster:
                         and self.store.log.end - self.synced_position
                         < self.config.min_sync_batch):
                     break
+            if self._gc_ready:
+                self._arm_gc_flush_timer()
         finally:
             self._sync_active = False
         if self.synced_position < self.store.log.end:
@@ -381,9 +412,10 @@ class CurpMaster:
         for _target, event in waiters:
             event.fail(AppError("DEPOSED", {"master": self.master_id}))
 
-    def _gc_witnesses(self):
-        """Drop newly-synced requests from all witnesses (§3.5, §4.5)."""
-        pairs = []
+    def _take_durable_gc_pairs(self) -> list[tuple[int, typing.Any]]:
+        """Split _pending_gc on durability: return the (key hash,
+        rpc_id) pairs whose log entries are synced, keep the rest."""
+        pairs: list[tuple[int, typing.Any]] = []
         remaining = []
         for position, hashes, rpc_id in self._pending_gc:
             if position <= self.synced_position:
@@ -392,6 +424,11 @@ class CurpMaster:
             else:
                 remaining.append((position, hashes, rpc_id))
         self._pending_gc = remaining
+        return pairs
+
+    def _gc_witnesses(self):
+        """Drop newly-synced requests from all witnesses (§3.5, §4.5)."""
+        pairs = self._take_durable_gc_pairs()
         if not pairs:
             return
         args = GcArgs(master_id=self.master_id, pairs=tuple(pairs))
@@ -401,6 +438,8 @@ class CurpMaster:
                                      request_size=wire_size)
                  for witness in self.witnesses]
         self.stats.gc_rpcs += len(calls)
+        self.stats.gc_pairs += len(pairs)
+        self.stats.gc_flushes += 1
         for call in calls:
             try:
                 stale = yield call
@@ -408,6 +447,75 @@ class CurpMaster:
                 continue  # witness down/replaced; coordinator handles it
             for request in stale:
                 self._handle_stale_suspect(request)
+
+    # ------------------------------------------------------------------
+    # batched gc (max_gc_batch > 0)
+    # ------------------------------------------------------------------
+    def _harvest_gc(self) -> None:
+        """Move pairs whose log entries are now durable into the ready
+        buffer.  Each harvest with pairs counts as one gc 'round' for
+        the witnesses' stale-suspect aging clock."""
+        pairs = self._take_durable_gc_pairs()
+        if pairs:
+            self._gc_ready.extend(pairs)
+            self._gc_rounds_pending += 1
+
+    def _flush_gc(self, full_only: bool = False):
+        """Generator: drain the ready buffer as ``gc_batch`` RPCs — one
+        per witness per chunk of at most ``max_gc_batch`` pairs.
+
+        ``full_only=True`` (the in-sync-loop call) leaves a partial
+        chunk in the buffer for the flush timer, so back-to-back syncs
+        keep coalescing instead of flushing every round.
+        """
+        if self._gc_flush_active:
+            return
+        self._gc_flush_active = True
+        try:
+            limit = self.config.max_gc_batch or len(self._gc_ready)
+            while self._gc_ready and not self.deposed and self.witnesses:
+                if full_only and len(self._gc_ready) < limit:
+                    return
+                batch = tuple(self._gc_ready[:limit])
+                del self._gc_ready[:len(batch)]
+                rounds = self._gc_rounds_pending
+                self._gc_rounds_pending = 0
+                args = GcBatchArgs(master_id=self.master_id, pairs=batch,
+                                   rounds=rounds)
+                wire_size = (RPC_HEADER_BYTES
+                             + GC_PAIR_WIRE_BYTES * len(batch))
+                calls = [self.transport.call(witness, "gc_batch", args,
+                                             timeout=self.config.rpc_timeout,
+                                             request_size=wire_size)
+                         for witness in self.witnesses]
+                self.stats.gc_rpcs += len(calls)
+                self.stats.gc_pairs += len(batch)
+                self.stats.gc_flushes += 1
+                for call in calls:
+                    try:
+                        stale = yield call
+                    except RpcError:
+                        continue  # witness down; coordinator handles it
+                    for request in stale:
+                        self._handle_stale_suspect(request)
+        finally:
+            self._gc_flush_active = False
+
+    def _arm_gc_flush_timer(self) -> None:
+        """One-shot: flush coalesced gc pairs that never fill a batch."""
+        if (self._gc_flush_armed or self.deposed or not self.host.alive
+                or not self.witnesses):
+            return
+        self._gc_flush_armed = True
+        incarnation = self.host.incarnation
+
+        def fire() -> None:
+            self._gc_flush_armed = False
+            if (not self.host.alive or self.host.incarnation != incarnation
+                    or self.deposed or not self._gc_ready):
+                return
+            self.host.spawn(self._flush_gc(), name="gc-flush")
+        self.sim.schedule_callback(self.config.gc_flush_delay, fire)
 
     def _handle_stale_suspect(self, request: RecordedRequest) -> None:
         """§4.5: a witness reports an uncollected record (its client
@@ -433,11 +541,17 @@ class CurpMaster:
             # master.
             pairs = tuple((key_hash_value, request.rpc_id)
                           for key_hash_value in request.op.key_hashes())
-            self.host.spawn(self._send_gc_round(pairs), name="orphan-gc")
+            if self.config.max_gc_batch > 0:
+                self._gc_ready.extend(pairs)
+                self._arm_gc_flush_timer()
+            else:
+                self.host.spawn(self._send_gc_round(pairs), name="orphan-gc")
 
     def _send_gc_round(self, pairs):
         """One explicit gc round (outside the sync loop)."""
         args = GcArgs(master_id=self.master_id, pairs=pairs)
+        self.stats.gc_pairs += len(pairs)
+        self.stats.gc_flushes += 1
         for witness in list(self.witnesses):
             self.stats.gc_rpcs += 1
             try:
@@ -478,6 +592,8 @@ class CurpMaster:
             self.witnesses = list(witnesses)
             self.witness_list_version = version
             self._pending_gc.clear()  # old witnesses' slots are gone
+            self._gc_ready.clear()
+            self._gc_rounds_pending = 0
             return "OK"
         return work()
 
@@ -561,6 +677,10 @@ class CurpMaster:
         waiters, self._sync_waiters = self._sync_waiters, []
         del waiters  # their processes were interrupted with the host
         self._sync_active = False
+        self._gc_ready.clear()
+        self._gc_rounds_pending = 0
+        self._gc_flush_armed = False
+        self._gc_flush_active = False
 
     # ------------------------------------------------------------------
     # inspection

@@ -66,6 +66,22 @@ class GcArgs:
 
 
 @dataclasses.dataclass(frozen=True)
+class GcBatchArgs:
+    """Master → witness: drop a coalesced batch of synced requests.
+
+    ``pairs`` accumulates across sync rounds (§4.5 + batching):
+    instead of one gc RPC per witness per sync round, the master sends
+    one ``gc_batch`` per witness per flush.  ``rounds`` is how many
+    sync rounds the batch coalesced, so the witness advances its
+    stale-suspect aging clock as if each round had gc'd separately.
+    """
+
+    master_id: str
+    pairs: tuple[tuple[int, typing.Any], ...]
+    rounds: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
 class ProbeArgs:
     """Reader client → witness: do these key hashes commute with every
     saved request? (§A.1 consistent reads from backups)."""
@@ -120,14 +136,21 @@ class MasterInfo:
 class ClusterView:
     """Configuration snapshot clients cache (§3.6).
 
-    ``tablets`` maps key-hash ranges [lo, hi) to master ids.
+    ``tablets`` maps key-hash ranges [lo, hi) to master ids.  When the
+    coordinator attaches a :class:`~repro.cluster.shard_map.ShardMap`
+    (typed loosely to keep this module import-free), routing goes
+    through its sorted-bounds lookup; the linear tablet scan remains as
+    the fallback for hand-built views in unit tests.
     """
 
     tablets: tuple[tuple[int, int, str], ...]
     masters: dict[str, MasterInfo]
     version: int
+    shard_map: typing.Any = None
 
     def master_for_hash(self, key_hash_value: int) -> str | None:
+        if self.shard_map is not None:
+            return self.shard_map.master_for_hash(key_hash_value)
         for lo, hi, master_id in self.tablets:
             if lo <= key_hash_value < hi:
                 return master_id

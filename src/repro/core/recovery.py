@@ -26,7 +26,7 @@ from repro.core.config import CurpConfig
 from repro.core.master import CurpMaster
 from repro.core.messages import GetRecoveryDataArgs, RecordedRequest
 from repro.rifl import DuplicateState
-from repro.rpc import AppError, RpcError, RpcTimeout
+from repro.rpc import AppError, RpcTimeout
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host

@@ -6,6 +6,9 @@ A witness lives for one master at a time.  Life cycle:
 - ``record`` (clients): save commutative requests; REJECTED on
   conflict, capacity, wrong master or recovery mode.
 - ``gc`` (master): drop synced requests; report stale suspects.
+- ``gc_batch`` (master): the batched variant — pairs coalesced across
+  sync rounds, with a ``rounds`` count that keeps stale-suspect aging
+  honest under coalescing.
 - ``getRecoveryData`` (recovery master): irreversibly freeze into
   *recovery mode* and return saved requests (§4.1, §4.6).
 - ``end`` (coordinator): decommission.
@@ -24,6 +27,7 @@ import typing
 
 from repro.core.messages import (
     GcArgs,
+    GcBatchArgs,
     GetRecoveryDataArgs,
     ProbeArgs,
     PROBE_COMMUTE,
@@ -62,11 +66,13 @@ class WitnessServer:
         self.record_time = record_time
         self.records_processed = 0
         self.gcs_processed = 0
+        self.gc_batches_processed = 0
         # Witnesses are lightweight and can share a host (and its RPC
         # endpoint) with a backup — Figure 2's colocated deployment.
         self.transport = transport or RpcTransport(host)
         self.transport.register("record", self._handle_record)
         self.transport.register("gc", self._handle_gc)
+        self.transport.register("gc_batch", self._handle_gc_batch)
         self.transport.register("get_recovery_data", self._handle_recovery_data)
         self.transport.register("probe", self._handle_probe)
         self.transport.register("start", self._handle_start)
@@ -113,6 +119,17 @@ class WitnessServer:
             raise AppError("WRONG_WITNESS_STATE", {"mode": self.mode})
         self.gcs_processed += 1
         stale = self.cache.gc(args.pairs)
+        return tuple(stale)
+
+    def _handle_gc_batch(self, args: GcBatchArgs, ctx):
+        """Batched drop: pairs coalesced across sync rounds.  Unknown
+        RpcIds are a harmless no-op (the record may have been rejected
+        or already collected)."""
+        if self.mode != MODE_NORMAL or args.master_id != self.master_id:
+            raise AppError("WRONG_WITNESS_STATE", {"mode": self.mode})
+        self.gcs_processed += 1
+        self.gc_batches_processed += 1
+        stale = self.cache.gc_batch(args.pairs, rounds=args.rounds)
         return tuple(stale)
 
     # ------------------------------------------------------------------

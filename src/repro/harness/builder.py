@@ -7,12 +7,11 @@ examples, and every benchmark (with the calibrated profiles).
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.cluster.coordinator import Coordinator
 from repro.core.client import CurpClient
-from repro.core.config import CurpConfig, ReplicationMode
-from repro.core.master import CurpMaster
+from repro.core.config import CurpConfig
+from repro.core.master import CurpMaster, MasterStats
 from repro.harness.profiles import ClusterProfile, TEST_PROFILE
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
@@ -43,6 +42,27 @@ class Cluster:
         if managed is not None and managed.master is not None:
             return managed.master
         return self.masters[master_id]
+
+    @property
+    def shard_map(self):
+        """The coordinator's current routing snapshot."""
+        return self.coordinator.shard_map
+
+    def shard_for(self, key: str) -> str | None:
+        """Which master id owns ``key`` right now."""
+        return self.shard_map.master_for_key(key)
+
+    def total_master_stats(self) -> MasterStats:
+        """Sum of every shard's :class:`MasterStats` (scale-out benches
+        read aggregate throughput and gc traffic off this)."""
+        total = MasterStats()
+        for master_id in self.masters:
+            stats = self.master(master_id).stats
+            for field in dataclasses.fields(MasterStats):
+                setattr(total, field.name,
+                        getattr(total, field.name)
+                        + getattr(stats, field.name))
+        return total
 
     def run(self, generator_or_event, timeout: float | None = None):
         """Run a client generator (or event) to completion; returns its
@@ -97,6 +117,11 @@ def build_cluster(config: CurpConfig | None = None,
     """Build a cluster: coordinator + n masters, each with f backups and
     f witnesses (when the mode uses them), on a fresh simulator.
 
+    ``n_masters > 1`` builds a sharded multi-master cluster: the key
+    hash space is split evenly into one tablet per master, each shard
+    gets its own backup and witness set, and clients route through the
+    coordinator's :class:`~repro.cluster.shard_map.ShardMap`.
+
     ``colocate_witnesses=True`` places each witness on its backup's
     host — the paper's Figure 2 deployment ("witnesses are lightweight
     and can be co-hosted with backups")."""
@@ -104,7 +129,9 @@ def build_cluster(config: CurpConfig | None = None,
     sim = Simulator(seed=seed)
     network = Network(sim, latency=LatencyModel(profile.latency()),
                       drop_rate=drop_rate)
-    coordinator_host = network.add_host("coordinator")
+    coordinator_host = network.add_host("coordinator",
+                                        tx_cost=profile.coordinator.tx,
+                                        rx_cost=profile.coordinator.rx)
     coordinator = Coordinator(coordinator_host, network, config,
                               lease_duration=lease_duration)
 

@@ -18,7 +18,7 @@ from repro.baselines import (
 )
 from repro.core.config import CurpConfig
 from repro.core.witness_cache import WitnessCache
-from repro.harness.builder import Cluster, build_cluster
+from repro.harness.builder import build_cluster
 from repro.harness.profiles import ClusterProfile, RAMCLOUD_PROFILE
 from repro.kvstore import Write
 from repro.metrics import LatencyRecorder

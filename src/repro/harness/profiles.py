@@ -51,6 +51,10 @@ class ClusterProfile:
     master: HostCosts = HostCosts()
     backup: HostCosts = HostCosts()
     witness: HostCosts = HostCosts()
+    #: the configuration manager is off the data path (clients hit it
+    #: at connect and on shard-map refreshes), but costing it keeps the
+    #: stale-map retry measurements honest
+    coordinator: HostCosts = HostCosts()
     #: master worker-pool size and per-op execution time
     master_workers: int = 3
     execute_time: float = 0.0
@@ -77,6 +81,7 @@ RAMCLOUD_PROFILE = ClusterProfile(
     master=HostCosts(tx=0.45, rx=0.55, shared=True),
     backup=HostCosts(tx=0.10, rx=0.10),
     witness=HostCosts(tx=0.10, rx=0.10),
+    coordinator=HostCosts(tx=0.30, rx=0.12),
     master_workers=3,
     execute_time=1.10,
     backup_process_time=0.20,
@@ -93,6 +98,7 @@ REDIS_PROFILE = ClusterProfile(
     master=HostCosts(tx=2.5, rx=2.5, shared=True),  # single-threaded
     backup=HostCosts(tx=2.5, rx=2.5),
     witness=HostCosts(tx=2.5, rx=2.5),
+    coordinator=HostCosts(tx=2.5, rx=2.5),
     master_workers=1,  # Redis is single-threaded
     execute_time=1.0,
     witness_record_time=1.0,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.witness import WitnessServer
-from repro.harness.profiles import ClusterProfile, REDIS_PROFILE, TEST_PROFILE
+from repro.harness.profiles import ClusterProfile, TEST_PROFILE
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.redislike.aof import DEFAULT_FSYNC, FsyncDevice

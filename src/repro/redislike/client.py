@@ -19,9 +19,9 @@ import typing
 from repro.core.messages import RECORD_ACCEPTED, RecordArgs, RecordedRequest
 from repro.kvstore.hashing import key_hash
 from repro.redislike.commands import Command
-from repro.redislike.server import CommandArgs, CommandReply, DurabilityMode
+from repro.redislike.server import CommandArgs, DurabilityMode
 from repro.rifl import RiflClientTracker
-from repro.rpc import AppError, RpcError, RpcTransport
+from repro.rpc import RpcError, RpcTransport
 from repro.sim.events import AllOf
 
 if typing.TYPE_CHECKING:  # pragma: no cover

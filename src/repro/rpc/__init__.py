@@ -7,7 +7,7 @@ Two features the CURP protocol specifically needs:
   executing.  This is how a speculative master responds to the client
   *before* the backup sync completes (§3.2.3).
 - **Application error codes** (:class:`~repro.rpc.errors.AppError`):
-  typed errors such as ``WRONG_WITNESS_VERSION`` or ``NOT_OWNER`` that
+  typed errors such as ``WRONG_WITNESS_VERSION`` or ``WRONG_SHARD`` that
   cross the wire and are re-raised at the caller, driving the client
   retry logic of §3.6.
 """

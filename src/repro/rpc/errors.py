@@ -29,8 +29,8 @@ class AppError(RpcError):
 
     Handlers raise ``AppError(code, info)``; the transport serializes
     the code and info and re-raises an equivalent AppError at the
-    caller.  CURP uses codes like ``WRONG_WITNESS_VERSION``, ``NOT_OWNER``
-    and ``WITNESS_IMMUTABLE``.
+    caller.  CURP uses codes like ``WRONG_WITNESS_VERSION``,
+    ``WRONG_SHARD`` and ``WITNESS_IMMUTABLE``.
     """
 
     def __init__(self, code: str, info: typing.Any = None):

@@ -9,8 +9,6 @@ paper's §3.4 reading of a client crash.
 
 from __future__ import annotations
 
-import typing
-
 from repro.core.client import ClientGaveUp, CurpClient
 from repro.kvstore.operations import Increment, Operation, Read, Write
 from repro.verify.history import History, OpRecord

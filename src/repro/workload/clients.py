@@ -13,7 +13,7 @@ import dataclasses
 import typing
 
 from repro.core.client import CurpClient
-from repro.kvstore.operations import Operation, Read
+from repro.kvstore.operations import Read
 from repro.metrics.stats import LatencyRecorder
 from repro.workload.ycsb import YcsbOpStream, YcsbWorkload
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 import random
-import typing
 
 from repro.kvstore.operations import Operation, Read, Write
 from repro.workload.zipfian import ScrambledZipfian, UniformGenerator

@@ -12,7 +12,6 @@ hottest keys would be consecutive ids.
 
 from __future__ import annotations
 
-import math
 import random
 
 from repro.kvstore.hashing import _splitmix64

@@ -3,8 +3,6 @@ migration, spares."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.harness import build_cluster
 from repro.kvstore import ConditionalWrite, Write, key_hash

@@ -1,0 +1,149 @@
+"""ShardMap routing + client re-routing on a stale map (WRONG_SHARD)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.shard_map import ShardMap
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.harness import build_cluster
+from repro.kvstore import Write, key_hash
+
+
+# ----------------------------------------------------------------------
+# ShardMap unit tests
+# ----------------------------------------------------------------------
+def test_from_tablets_sorts_and_routes():
+    shard_map = ShardMap.from_tablets(
+        [(100, 200, "m1"), (0, 100, "m0"), (200, 300, "m2")], version=7)
+    assert shard_map.version == 7
+    assert shard_map.n_tablets == 3
+    assert shard_map.owners == ("m0", "m1", "m2")
+    assert shard_map.master_for_hash(0) == "m0"
+    assert shard_map.master_for_hash(99) == "m0"
+    assert shard_map.master_for_hash(100) == "m1"
+    assert shard_map.master_for_hash(199) == "m1"
+    assert shard_map.master_for_hash(299) == "m2"
+    assert shard_map.master_for_hash(300) is None  # past the last tablet
+
+
+def test_gaps_route_to_none():
+    shard_map = ShardMap.from_tablets([(0, 10, "m0"), (20, 30, "m1")])
+    assert shard_map.master_for_hash(15) is None
+    assert not shard_map.covers_full_range()
+
+
+def test_overlapping_tablets_rejected():
+    with pytest.raises(ValueError):
+        ShardMap.from_tablets([(0, 10, "m0"), (5, 15, "m1")])
+    with pytest.raises(ValueError):
+        ShardMap.from_tablets([(10, 10, "m0")])  # empty tablet
+
+
+def test_master_for_key_uses_key_hash():
+    shard_map = ShardMap.from_tablets([(0, 2 ** 63, "lo"),
+                                       (2 ** 63, 2 ** 64, "hi")])
+    assert shard_map.covers_full_range()
+    for key in ("user1", "user2", "abc", "zz-top"):
+        expected = "lo" if key_hash(key) < 2 ** 63 else "hi"
+        assert shard_map.master_for_key(key) == expected
+
+
+def test_coordinator_map_matches_linear_tablet_scan():
+    cluster = build_cluster(CurpConfig(f=1, mode=ReplicationMode.CURP),
+                            n_masters=4)
+    view = cluster.coordinator.current_view()
+    shard_map = cluster.shard_map
+    assert shard_map.covers_full_range()
+    assert shard_map.shard_ids() == ("m0", "m1", "m2", "m3")
+    for probe in (0, 1, 2 ** 62, 2 ** 63, 2 ** 64 - 1,
+                  key_hash("user1"), key_hash("user999")):
+        linear = next((owner for lo, hi, owner in view.tablets
+                       if lo <= probe < hi), None)
+        assert shard_map.master_for_hash(probe) == linear
+    # The view routes through the same map object.
+    assert view.shard_map is shard_map
+    assert view.master_for_hash(2 ** 63) == shard_map.master_for_hash(2 ** 63)
+
+
+def test_shard_map_invalidated_on_config_change():
+    cluster = build_cluster(CurpConfig(f=1, mode=ReplicationMode.CURP),
+                            n_masters=2)
+    before = cluster.shard_map
+    key = next(f"key-{i}" for i in range(100)
+               if before.master_for_key(f"key-{i}") == "m0")
+    h = key_hash(key)
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+        timeout=1_000_000.0)
+    after = cluster.shard_map
+    assert after.version > before.version
+    assert before.master_for_hash(h) == "m0"
+    assert after.master_for_hash(h) == "m1"
+    assert cluster.shard_for(key) == "m1"
+
+
+# ----------------------------------------------------------------------
+# stale-map client re-routing
+# ----------------------------------------------------------------------
+def sharded_cluster(**kwargs):
+    defaults = dict(f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+                    idle_sync_delay=200.0, rpc_timeout=100.0,
+                    # huge backoff: the WRONG_SHARD path must never wait
+                    retry_backoff=5_000.0)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults), n_masters=2)
+
+
+def test_stale_shard_map_rerouted_through_coordinator():
+    """A client holding a stale ShardMap gets WRONG_SHARD from the old
+    owner, refetches the map from the coordinator with no backoff, and
+    completes on the retry — one wasted attempt plus one coordinator
+    round trip on top of the normal 1-RTT fast path (3 RTTs total at
+    the test profile's 2 µs one-way latency)."""
+    cluster = sharded_cluster()
+    client = cluster.new_client()
+    key = next(f"key-{i}" for i in range(100)
+               if cluster.shard_for(f"key-{i}") == "m0")
+    fresh = cluster.run(client.update(Write(key, 1)))
+    assert fresh.attempts == 1
+    assert fresh.latency == pytest.approx(4.0)  # 1 RTT
+    h = key_hash(key)
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+        timeout=1_000_000.0)
+    assert client.view.master_for_hash(h) == "m0"  # view now stale
+
+    stale = cluster.run(client.update(Write(key, 2)))
+    assert stale.attempts == 2
+    # failed attempt (1 RTT) + map refresh (1 RTT) + retry (1 RTT);
+    # anything near retry_backoff would mean the client slept.
+    assert stale.latency == pytest.approx(12.0)
+    assert client.view.master_for_hash(h) == "m1"
+    assert cluster.master("m1").store.read(key) == 2
+    # The wasted attempt's witness records on the OLD shard must not
+    # stay pinned: m1's sync+gc can't reach them and the key no longer
+    # routes to m0, so the client gc's its own aborted records.
+    cluster.settle(1_000.0)
+    for name in cluster.witness_hosts["m0"]:
+        witness = cluster.coordinator.witness_servers[name]
+        assert witness.cache.occupied_slots() == 0
+
+
+def test_stale_shard_map_read_rerouted():
+    cluster = sharded_cluster()
+    client = cluster.new_client()
+    key = next(f"key-{i}" for i in range(100)
+               if cluster.shard_for(f"key-{i}") == "m0")
+    cluster.run(client.update(Write(key, "v")))
+    cluster.settle(1_000.0)
+    h = key_hash(key)
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+        timeout=1_000_000.0)
+    started = cluster.sim.now
+    assert cluster.run(client.read(key)) == "v"
+    # read (1 RTT, WRONG_SHARD) + refresh (1 RTT) + re-read (1 RTT),
+    # with no retry_backoff sleep in between.
+    assert cluster.sim.now - started == pytest.approx(12.0)
+    assert client.view.master_for_hash(h) == "m1"

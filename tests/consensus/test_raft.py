@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.consensus import RaftConfig, RaftCurpClient, RaftNode, superquorum_size
 from repro.kvstore import Increment, Write
 from repro.net import Network

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.consensus import RaftConfig, RaftCurpClient, RaftNode
+from repro.consensus import RaftConfig, RaftNode
 from repro.kvstore import Write
 from repro.net import Network
 from repro.net.latency import LatencyModel
@@ -12,8 +12,6 @@ from repro.sim import Fixed, Simulator
 
 from tests.consensus.test_raft import (
     add_client,
-    build_group,
-    leader_of,
     wait_for_leader,
 )
 

@@ -8,7 +8,6 @@ from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.client import ClientGaveUp
 from repro.harness import build_cluster
 from repro.kvstore import Read, Write
-from repro.rpc import AppError
 
 
 def curp_cluster(**kwargs):

@@ -3,10 +3,7 @@ lease expiry (§4.8 modification 2)."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import CurpConfig, ReplicationMode
-from repro.core.master import CurpMaster
 from repro.core.messages import RecordedRequest
 from repro.harness import build_cluster
 from repro.kvstore import Write, key_hash

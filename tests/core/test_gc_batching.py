@@ -1,0 +1,195 @@
+"""Batched witness gc (`max_gc_batch` > 0): coalescing across sync
+rounds, the gc_batch RPC, stale-suspect aging under coalescing, and the
+gc_rpcs-vs-gc_pairs stats distinction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.messages import GcBatchArgs, RecordedRequest
+from repro.core.witness import WitnessServer
+from repro.core.witness_cache import WitnessCache
+from repro.harness import build_cluster
+from repro.kvstore import MultiWrite, Write, key_hash
+from repro.rifl import RpcId
+from repro.rpc import RpcTransport
+
+
+def batched_cluster(**kwargs):
+    defaults = dict(f=3, mode=ReplicationMode.CURP, min_sync_batch=1,
+                    idle_sync_delay=50.0, max_gc_batch=100,
+                    gc_flush_delay=100.0, retry_backoff=10.0,
+                    rpc_timeout=100.0)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults))
+
+
+# ----------------------------------------------------------------------
+# master-side coalescing
+# ----------------------------------------------------------------------
+def test_gc_rpcs_counts_rpcs_not_pairs():
+    """One flush collects many pairs: gc_rpcs counts the RPCs actually
+    sent (one per witness per flush), gc_pairs the (hash, RpcId) pairs
+    shipped — they must not be conflated."""
+    cluster = batched_cluster()
+    client = cluster.new_client()
+    for i in range(10):
+        cluster.run(client.update(Write(f"k{i}", i)))
+    cluster.settle(1_000.0)  # past gc_flush_delay: stragglers flushed
+    stats = cluster.master().stats
+    assert stats.gc_pairs == 10
+    assert stats.gc_flushes == 1            # all 10 coalesced
+    assert stats.gc_rpcs == 3               # one RPC per witness
+    assert stats.gc_rpcs == 3 * stats.gc_flushes
+    assert stats.gc_rpcs != stats.gc_pairs
+    for name in cluster.witness_hosts["m0"]:
+        witness = cluster.coordinator.witness_servers[name]
+        assert witness.cache.occupied_slots() == 0
+        assert witness.gc_batches_processed == 1
+
+
+def test_batching_cuts_gc_rpcs_at_least_4x():
+    """The acceptance ratio, deterministically: same workload, per-round
+    cadence (max_gc_batch=0) vs batched."""
+    def run_workload(max_gc_batch):
+        cluster = batched_cluster(max_gc_batch=max_gc_batch)
+        client = cluster.new_client()
+        for i in range(12):
+            cluster.run(client.update(Write(f"k{i}", i)))
+        cluster.settle(1_000.0)
+        stats = cluster.master().stats
+        # Whatever the cadence, every slot must end up collected.
+        for name in cluster.witness_hosts["m0"]:
+            witness = cluster.coordinator.witness_servers[name]
+            assert witness.cache.occupied_slots() == 0
+        return stats
+
+    per_round = run_workload(0)
+    batched = run_workload(100)
+    assert per_round.gc_pairs == batched.gc_pairs == 12
+    # Per-round cadence: one RPC per witness per sync round (rounds may
+    # batch several entries, so rounds <= updates).
+    assert per_round.gc_rpcs == 3 * per_round.syncs
+    assert per_round.syncs >= 6
+    assert batched.gc_rpcs == 3             # single coalesced flush
+    assert per_round.gc_rpcs / batched.gc_rpcs >= 4
+
+
+def test_full_batch_flushes_inside_sync_loop():
+    """Once max_gc_batch pairs are ready the flush happens immediately,
+    without waiting for the timer."""
+    cluster = batched_cluster(max_gc_batch=4, gc_flush_delay=1e9)
+    client = cluster.new_client()
+    for i in range(4):
+        cluster.run(client.update(Write(f"k{i}", i)))
+    cluster.settle(500.0)  # far below the (disabled) flush timer
+    stats = cluster.master().stats
+    assert stats.gc_flushes == 1
+    assert stats.gc_pairs == 4
+    assert stats.gc_rpcs == 3
+
+
+def test_multiwrite_pairs_all_collected_under_batching():
+    cluster = batched_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(MultiWrite((("a", 1), ("b", 2), ("c", 3)))))
+    for name in cluster.witness_hosts["m0"]:
+        witness = cluster.coordinator.witness_servers[name]
+        assert witness.cache.occupied_slots() == 3
+    cluster.settle(1_000.0)
+    assert cluster.master().stats.gc_pairs == 3
+    for name in cluster.witness_hosts["m0"]:
+        witness = cluster.coordinator.witness_servers[name]
+        assert witness.cache.occupied_slots() == 0
+
+
+def test_orphan_collected_under_batching():
+    """The §4.5 uncollected-garbage cycle still converges when gc rides
+    the batched path (suspect aging advances by coalesced rounds)."""
+    cluster = batched_cluster(gc_stale_threshold=3, gc_flush_delay=60.0)
+    client = cluster.new_client()
+    orphan_rpc = RpcId(424242, 1)
+    witness = cluster.coordinator.witness_servers[
+        cluster.witness_hosts["m0"][0]]
+    witness.cache.record([key_hash("X")], orphan_rpc,
+                         RecordedRequest(op=Write("X", "orphan"),
+                                         rpc_id=orphan_rpc))
+    for i in range(4):
+        cluster.run(client.update(Write(f"other{i}", i)))
+        cluster.settle(500.0)  # each batch flushes alone: rounds advance
+    assert witness.cache.occupied_slots() == 1
+    outcome = cluster.run(client.update(Write("X", "client-value")))
+    assert not outcome.fast_path  # rejected at the witness
+    cluster.settle(5_000.0)
+    assert cluster.master().stats.stale_suspects_handled >= 1
+    assert witness.cache.occupied_slots() == 0
+    # The orphan's late execution is a valid linearization of a
+    # forever-pending op; what matters is the slot is free and the key
+    # is writable on the fast path again.
+    outcome = cluster.run(client.update(Write("X", "final")))
+    assert outcome.fast_path
+    assert cluster.run(client.read("X")) == "final"
+
+
+# ----------------------------------------------------------------------
+# witness-side gc_batch semantics
+# ----------------------------------------------------------------------
+@pytest.fixture
+def witness_setup(sim, network):
+    witness = WitnessServer(network.add_host("w0"), slots=64, associativity=4)
+    witness.start_for("m0")
+    caller = RpcTransport(network.add_host("caller"))
+    return witness, caller
+
+
+def test_gc_batch_unknown_rpc_ids_is_noop(witness_setup, sim):
+    """A gc_batch naming RpcIds the witness never saw (rejected records,
+    duplicated flushes after a master retry) must change nothing."""
+    witness, caller = witness_setup
+    kept = RpcId(1, 1)
+    witness.cache.record([7], kept, RecordedRequest(op="op", rpc_id=kept))
+    bogus = GcBatchArgs(master_id="m0",
+                        pairs=((7, RpcId(99, 99)),      # known hash, unknown id
+                               (1234, RpcId(5, 5))),    # unknown hash
+                        rounds=1)
+    stale = sim.run(caller.call("w0", "gc_batch", bogus))
+    assert stale == ()
+    assert witness.cache.occupied_slots() == 1
+    # The real pair still collects afterwards.
+    real = GcBatchArgs(master_id="m0", pairs=((7, kept),))
+    sim.run(caller.call("w0", "gc_batch", real))
+    assert witness.cache.occupied_slots() == 0
+    assert witness.gc_batches_processed == 2
+
+
+def test_gc_batch_wrong_master_rejected(witness_setup, sim):
+    from repro.rpc import AppError
+    _witness, caller = witness_setup
+    with pytest.raises(AppError) as err:
+        sim.run(caller.call("w0", "gc_batch",
+                            GcBatchArgs(master_id="other", pairs=())))
+    assert err.value.code == "WRONG_WITNESS_STATE"
+
+
+def test_gc_batch_rounds_age_suspects_like_per_round_gc():
+    """Coalescing N rounds into one gc_batch(rounds=N) must age
+    surviving records exactly as N per-round gcs would."""
+    cache = WitnessCache(slots=16, associativity=4, stale_threshold=3)
+    old = RpcId(1, 1)
+    cache.record([3], old, "old-request")
+    cache.gc_batch([(5, RpcId(9, 9))], rounds=3)  # 3 rounds, other keys
+    # A conflicting record now finds a 3-round-old survivor: suspect.
+    assert not cache.record([3], RpcId(2, 1), "new-request")
+    stale = cache.gc_batch([], rounds=1)
+    assert stale == ["old-request"]
+
+
+def test_gc_batch_zero_rounds_does_not_age():
+    cache = WitnessCache(slots=16, associativity=4, stale_threshold=3)
+    old = RpcId(1, 1)
+    cache.record([3], old, "old-request")
+    cache.gc_batch([(5, RpcId(9, 9))], rounds=0)
+    assert cache.gc_rounds == 0
+    assert not cache.record([3], RpcId(2, 1), "new-request")
+    assert cache.gc_batch([], rounds=0) == []  # not yet a suspect

@@ -9,7 +9,7 @@ from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.master import _subtract_range
 from repro.core.messages import UpdateArgs, UpdateReply
 from repro.harness import build_cluster
-from repro.kvstore import Increment, MultiWrite, Read, Write, key_hash
+from repro.kvstore import Increment, MultiWrite, Write, key_hash
 from repro.rifl import RpcId
 from repro.rpc import AppError, RpcTransport
 
@@ -152,7 +152,7 @@ def test_wrong_witness_list_version_rejected():
     assert err.value.info == {"current": 0}
 
 
-def test_not_owner_rejected():
+def test_wrong_shard_rejected():
     cluster = curp_cluster()
     master = cluster.master()
     h = key_hash("foreign")
@@ -161,7 +161,7 @@ def test_not_owner_rejected():
     with pytest.raises(AppError) as err:
         cluster.run(caller.call("m0-host", "update",
                                 update_args(Write("foreign", 1), 1)))
-    assert err.value.code == "NOT_OWNER"
+    assert err.value.code == "WRONG_SHARD"
 
 
 def test_read_of_synced_key_is_fast():

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.harness import build_cluster
 from repro.kvstore import Write, key_hash

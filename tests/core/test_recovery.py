@@ -6,10 +6,9 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import CurpConfig, ReplicationMode
-from repro.core.recovery import RecoveryFailed, build_recovery_master, recover
+from repro.core.recovery import RecoveryFailed, recover
 from repro.harness import build_cluster
 from repro.kvstore import Increment, Write, key_hash
-from repro.rpc import AppError
 
 
 def curp_cluster(**kwargs):

@@ -6,7 +6,6 @@ from __future__ import annotations
 import pytest
 
 from repro.harness.redis import build_redis_cluster
-from repro.redislike.commands import Command
 from repro.redislike.server import DurabilityMode
 from repro.sim.distributions import Fixed
 

@@ -67,7 +67,8 @@ def test_lognormal_heavier_tail_with_bigger_sigma():
     rng_a, rng_b = random.Random(5), random.Random(5)
     tight = LogNormal(median=10.0, sigma=0.1)
     heavy = LogNormal(median=10.0, sigma=1.0)
-    p99 = lambda d, rng: sorted(d.sample(rng) for _ in range(5000))[4949]
+    def p99(d, rng):
+        return sorted(d.sample(rng) for _ in range(5000))[4949]
     assert p99(heavy, rng_b) > p99(tight, rng_a)
 
 

@@ -1,0 +1,113 @@
+"""Unit tests for the CI perf-regression gate (tools/bench_compare.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "tools" / "bench_compare.py")
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def snapshot(dispatch=6_000_000, records=800_000, rpc=100_000,
+             speedup=3.8) -> dict:
+    return {
+        "event_loop": {"events_per_sec": dispatch,
+                       "speedup_vs_legacy": speedup,
+                       "schedule_dispatch_events_per_sec": dispatch // 2},
+        "witness": {"records_per_sec": records},
+        "rpc": {"roundtrips_per_sec": rpc},
+    }
+
+
+def test_within_threshold_passes():
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(dispatch=5_000_000, records=700_000),
+        threshold=0.25)
+    assert failures == []
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    assert gated["dispatch events/s"]["status"] == "ok"
+    assert gated["witness records/s"]["status"] == "ok"
+
+
+def test_gated_regression_fails():
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(dispatch=4_000_000), threshold=0.25)
+    assert len(failures) == 1
+    assert "dispatch events/s" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    assert gated["dispatch events/s"]["status"] == "REGRESSION"
+    assert gated["dispatch events/s"]["delta"] < -0.25
+
+
+def test_info_metric_regression_does_not_fail():
+    """rpc roundtrips/s is informational: a huge drop must not gate."""
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(rpc=10_000), threshold=0.25)
+    assert failures == []
+
+
+def test_improvement_passes():
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(dispatch=9_000_000, records=1_300_000),
+        threshold=0.25)
+    assert failures == []
+
+
+def test_missing_info_metric_is_na_not_failure():
+    """Old baselines without the scaleout series must still compare."""
+    base = snapshot()
+    del base["rpc"]
+    rows, failures = bench_compare.compare(base, snapshot(), threshold=0.25)
+    assert failures == []
+    info = {row["name"]: row for row in rows if not row["gated"]}
+    assert info["rpc roundtrips/s"]["status"] == "n/a"
+
+
+def test_missing_gated_metric_fails_the_gate():
+    """Schema drift must not silently disable the gate."""
+    rows, failures = bench_compare.compare(
+        snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
+    assert len(failures) == 3  # every gated metric uncomparable
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    assert gated["dispatch events/s"]["status"] == "MISSING"
+    assert gated["witness records/s"]["status"] == "MISSING"
+    assert gated["dispatch speedup vs legacy"]["status"] == "MISSING"
+
+
+def test_machine_independent_ratio_gates_too():
+    """A dispatch regression shows in the same-host legacy ratio even
+    when a fast runner keeps the absolute rate above threshold."""
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(speedup=2.0), threshold=0.25)
+    assert len(failures) == 1
+    assert "dispatch speedup vs legacy" in failures[0]
+
+
+def test_markdown_table_marks_gated_metrics():
+    rows, _ = bench_compare.compare(snapshot(), snapshot(), threshold=0.25)
+    table = bench_compare.format_markdown(rows, threshold=0.25)
+    assert "| **dispatch events/s** |" in table
+    assert "| rpc roundtrips/s |" in table
+
+
+def test_main_exit_codes_and_summary(tmp_path):
+    baseline = tmp_path / "base.json"
+    candidate = tmp_path / "cand.json"
+    summary = tmp_path / "summary.md"
+    baseline.write_text(json.dumps(snapshot()))
+
+    candidate.write_text(json.dumps(snapshot(dispatch=5_900_000)))
+    assert bench_compare.main(["--baseline", str(baseline),
+                               "--candidate", str(candidate),
+                               "--summary", str(summary)]) == 0
+    assert "Perf gate" in summary.read_text()
+
+    candidate.write_text(json.dumps(snapshot(records=100_000)))
+    assert bench_compare.main(["--baseline", str(baseline),
+                               "--candidate", str(candidate),
+                               "--summary", str(summary)]) == 1

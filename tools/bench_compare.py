@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_core.json`` against the committed baseline.
+
+Usage (from the repository root)::
+
+    python tools/bench_compare.py --baseline BENCH_core.json \
+        --candidate BENCH_core.fresh.json [--threshold 0.25] \
+        [--summary $GITHUB_STEP_SUMMARY]
+
+The CI perf gate: fails (exit 1) when a **gated** metric — event-loop
+dispatch events/s or witness-cache records/s — regresses by more than
+``threshold`` (default 25%, tolerant of shared-runner noise).  Every
+other shared metric is reported informationally.  The delta table is
+printed to stdout and, when ``--summary`` (or the
+``GITHUB_STEP_SUMMARY`` environment variable) names a file, appended
+there as Markdown for the job summary.
+
+To move the baseline intentionally, re-run ``tools/bench_snapshot.py``
+on a quiet machine and commit the refreshed ``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: metrics the gate fails on: (display name, path into the snapshot)
+GATED_METRICS = (
+    ("dispatch events/s", ("event_loop", "events_per_sec")),
+    ("witness records/s", ("witness", "records_per_sec")),
+    # machine-independent backstop: current vs vendored-legacy scheduler
+    # measured in the same process on the same host, so a baseline from
+    # different hardware cannot mask (or fake) a dispatch regression
+    ("dispatch speedup vs legacy", ("event_loop", "speedup_vs_legacy")),
+)
+
+#: reported but never failing (wall-clock sensitive or informational)
+INFO_METRICS = (
+    ("schedule+dispatch events/s",
+     ("event_loop", "schedule_dispatch_events_per_sec")),
+    ("rpc roundtrips/s", ("rpc", "roundtrips_per_sec")),
+    ("fig6 smoke events/s", ("fig6_smoke", "events_per_sec")),
+    ("scaleout 4-shard speedup", ("scaleout", "speedup_4_shards_vs_1")),
+    ("scaleout gc rpc reduction", ("scaleout", "gc_rpc_reduction")),
+)
+
+
+def lookup(data: dict, path: tuple[str, ...]) -> float | None:
+    """Walk a nested dict; None when any step is missing."""
+    node = data
+    for step in path:
+        if not isinstance(node, dict) or step not in node:
+            return None
+        node = node[step]
+    return node if isinstance(node, (int, float)) else None
+
+
+def compare(baseline: dict, candidate: dict,
+            threshold: float) -> tuple[list[dict], list[str]]:
+    """Build delta rows; returns (rows, gate failure messages)."""
+    rows = []
+    failures = []
+    for gated, metrics in ((True, GATED_METRICS), (False, INFO_METRICS)):
+        for name, path in metrics:
+            base = lookup(baseline, path)
+            cand = lookup(candidate, path)
+            row = {"name": name, "baseline": base, "candidate": cand,
+                   "gated": gated, "delta": None, "status": "n/a"}
+            if base and cand is not None:
+                row["delta"] = (cand - base) / base
+                if not gated:
+                    row["status"] = "info"
+                elif row["delta"] < -threshold:
+                    row["status"] = "REGRESSION"
+                    failures.append(
+                        f"{name}: {base:,.0f} -> {cand:,.0f} "
+                        f"({row['delta']:+.1%}, threshold -{threshold:.0%})")
+                else:
+                    row["status"] = "ok"
+            elif gated:
+                # A gated metric that cannot be compared (renamed key,
+                # partial snapshot, zero baseline) must fail loudly —
+                # otherwise schema drift silently disables the gate.
+                row["status"] = "MISSING"
+                failures.append(
+                    f"{name}: missing or zero in baseline/candidate "
+                    f"(baseline={base!r}, candidate={cand!r}) — gated "
+                    f"metrics must be comparable")
+            rows.append(row)
+    return rows, failures
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "—"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:,.2f}"
+
+
+def format_markdown(rows: list[dict], threshold: float) -> str:
+    lines = [
+        "### Perf gate: BENCH_core.json vs baseline",
+        "",
+        f"Gate: dispatch events/s and witness records/s must not drop "
+        f"more than {threshold:.0%}.",
+        "",
+        "| metric | baseline | candidate | delta | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        delta = "—" if row["delta"] is None else f"{row['delta']:+.1%}"
+        name = f"**{row['name']}**" if row["gated"] else row["name"]
+        lines.append(f"| {name} | {_fmt(row['baseline'])} "
+                     f"| {_fmt(row['candidate'])} | {delta} "
+                     f"| {row['status']} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_core.json")
+    parser.add_argument("--candidate", default="BENCH_core.fresh.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional regression")
+    parser.add_argument("--summary", default=None,
+                        help="file to append the Markdown table to "
+                             "(default: $GITHUB_STEP_SUMMARY if set)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    candidate = json.loads(Path(args.candidate).read_text())
+    rows, failures = compare(baseline, candidate, args.threshold)
+
+    table = format_markdown(rows, args.threshold)
+    print(table)
+    summary = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as handle:
+            handle.write(table)
+
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

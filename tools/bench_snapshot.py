@@ -15,7 +15,10 @@ Measures, in wall-clock terms:
 - witness-cache records/s at the paper's geometry (§5.2 comparable:
   ~1.27 M records/s on the real witness);
 - a Figure 6-shaped smoke run (one CURP f=3 closed loop) so future PRs
-  can see end-to-end wall-clock drift, not just microbenches.
+  can see end-to-end wall-clock drift, not just microbenches;
+- a ``scaleout`` series: aggregate virtual-time throughput at 1/2/4
+  shards plus the batched-gc RPC reduction (ISSUE 2 acceptance
+  numbers), from ``benchmarks/bench_scaleout_shards.py``.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -53,6 +56,35 @@ def _best_rate(fn, repeats: int = 3) -> float:
         units, elapsed = fn()
         best = max(best, units / elapsed)
     return best
+
+
+def _scaleout() -> dict:
+    """Sharded throughput scaling + batched-gc traffic (virtual time,
+    so the numbers are deterministic per seed — wall clock only decides
+    how long the measurement takes)."""
+    from benchmarks.bench_scaleout_shards import (
+        gc_batching_comparison,
+        scaleout_throughput,
+    )
+
+    started = time.perf_counter()
+    series = scaleout_throughput(shard_counts=(1, 2, 4))
+    gc = gc_batching_comparison()
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": round(elapsed, 3),
+        "throughput_by_shards": {
+            str(n): round(point["throughput"])
+            for n, point in series.items()},
+        "speedup_4_shards_vs_1": round(
+            series[4]["throughput"] / series[1]["throughput"], 2),
+        "gc_rpcs_per_sync_per_round": round(
+            gc["per-round"]["gc_rpcs_per_sync"], 2),
+        "gc_rpcs_per_sync_batched": round(
+            gc["batched"]["gc_rpcs_per_sync"], 2),
+        "gc_rpc_reduction": round(
+            gc["per-round"]["gc_rpcs"] / max(gc["batched"]["gc_rpcs"], 1), 2),
+    }
 
 
 def _fig6_smoke() -> dict:
@@ -112,6 +144,7 @@ def snapshot(scale: float = 1.0) -> dict:
             "paper_target_records_per_sec": 1_270_000,
         },
         "fig6_smoke": _fig6_smoke(),
+        "scaleout": _scaleout(),
     }
 
 
