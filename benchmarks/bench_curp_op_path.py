@@ -1,0 +1,91 @@
+"""The CURP operation lifecycle, end to end, in wall-clock terms.
+
+Committed-ops/s for the full client → master → witness → backup-sync
+path at f ∈ {1, 3}, under both completion models:
+
+- **legacy**: one wrapper process per RPC, joined by ``AllOf`` (the
+  seed protocol shape, ``fast_completion=False``);
+- **fast**: the callback path — ``call_cb`` into a slotted
+  ``QuorumEvent`` on the client, continuation-passing update lifecycle
+  on the master (``fast_completion=True``).
+
+Virtual-time results are identical (the single-client trace test pins
+that); the delta is pure Python overhead per operation, which is what
+the tentpole of ISSUE 3 targets.  ``tools/bench_snapshot.py`` records
+the series into ``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from benchmarks.conftest import run_once
+from repro.baselines import curp_config
+from repro.harness.builder import build_cluster
+from repro.workload import run_closed_loop
+from repro.workload.ycsb import YcsbWorkload
+
+#: write-only: every op takes the full 1 + f fan-out plus batched sync
+OP_PATH_WORKLOAD = YcsbWorkload(name="op-path-writes", read_fraction=0.0,
+                                item_count=10_000, value_size=100,
+                                distribution="uniform")
+
+
+def op_path_rate(f: int, fast: bool, duration: float = 4_000.0,
+                 n_clients: int = 8, seed: int = 5) -> tuple[int, float]:
+    """(committed ops, wall seconds) for one closed-loop run."""
+    config = dataclasses.replace(curp_config(f), fast_completion=fast)
+    started = time.perf_counter()
+    cluster = build_cluster(config, seed=seed)
+    result = run_closed_loop(cluster, OP_PATH_WORKLOAD,
+                             n_clients=n_clients, duration=duration,
+                             warmup=500.0)
+    return result["operations"], time.perf_counter() - started
+
+
+def op_path_series_one(f: int, scale: float = 1.0,
+                       repeats: int = 1) -> dict:
+    """Best-of-N ops/s for one f, both completion modes, plus speedup."""
+    duration = 4_000.0 * scale
+    rates = {}
+    for label, fast in (("legacy", False), ("fast", True)):
+        best = 0.0
+        for _ in range(repeats):
+            ops, elapsed = op_path_rate(f, fast, duration=duration)
+            best = max(best, ops / elapsed)
+        rates[label] = best
+    return {
+        "ops_per_sec": round(rates["fast"]),
+        "ops_per_sec_legacy": round(rates["legacy"]),
+        "speedup": round(rates["fast"] / rates["legacy"], 2),
+    }
+
+
+def op_path_series(scale: float = 1.0, repeats: int = 2) -> dict:
+    """The BENCH_core.json series: f ∈ {1, 3}."""
+    return {f"f{f}": op_path_series_one(f, scale=scale, repeats=repeats)
+            for f in (1, 3)}
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (CI smoke pass)
+# ----------------------------------------------------------------------
+def test_op_path_f1(benchmark, scale):
+    series, _ = run_once(benchmark, lambda: (op_path_series_one(1, scale),
+                                             None))
+    print(f"\nCURP op path f=1: {series['ops_per_sec']:,} ops/s fast, "
+          f"{series['ops_per_sec_legacy']:,} legacy "
+          f"({series['speedup']}x)")
+    benchmark.extra_info.update(series)
+    assert series["speedup"] > 1.0  # the fast path must never lose
+
+
+def test_op_path_f3(benchmark, scale):
+    series, _ = run_once(benchmark, lambda: (op_path_series_one(3, scale),
+                                             None))
+    print(f"\nCURP op path f=3: {series['ops_per_sec']:,} ops/s fast, "
+          f"{series['ops_per_sec_legacy']:,} legacy "
+          f"({series['speedup']}x)")
+    benchmark.extra_info.update(series)
+    assert series["speedup"] > 1.0

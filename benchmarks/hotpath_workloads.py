@@ -63,8 +63,7 @@ def schedule_and_drain(sim_factory: typing.Callable[[], typing.Any],
     return sim.processed_events, time.perf_counter() - started
 
 
-def rpc_roundtrips(n_calls: int = 20_000) -> tuple[int, float]:
-    """Round-trips/s through the full simulated RPC stack."""
+def _rpc_pair():
     from repro.net.latency import LatencyModel
     from repro.net.network import Network
     from repro.rpc.transport import RpcTransport
@@ -73,11 +72,39 @@ def rpc_roundtrips(n_calls: int = 20_000) -> tuple[int, float]:
 
     sim = Simulator(seed=0)
     network = Network(sim, latency=LatencyModel(Fixed(2.0)))
-    client_host = network.add_host("client")
-    server_host = network.add_host("server")
-    client = RpcTransport(client_host)
-    server = RpcTransport(server_host)
+    client = RpcTransport(network.add_host("client"))
+    server = RpcTransport(network.add_host("server"))
     server.register("echo", lambda args, ctx: args)
+    return sim, client
+
+
+def rpc_roundtrips(n_calls: int = 20_000) -> tuple[int, float]:
+    """Round-trips/s through the full simulated RPC stack, driven by
+    the ``call_cb`` completion fast path (the protocol hot path since
+    the operation-lifecycle overhaul): the continuation issues the next
+    call straight from response delivery — no per-call event, queue
+    dispatch, or generator resume."""
+    sim, client = _rpc_pair()
+    done = sim.event()
+    calls = [0]
+
+    def on_done(_value, _error):
+        calls[0] += 1
+        if calls[0] >= n_calls:
+            done.succeed()
+        else:
+            client.call_cb("server", "echo", calls[0], on_done)
+
+    started = time.perf_counter()
+    client.call_cb("server", "echo", 0, on_done)
+    sim.run(done)
+    return n_calls, time.perf_counter() - started
+
+
+def rpc_roundtrips_yield(n_calls: int = 20_000) -> tuple[int, float]:
+    """The generator-path comparison driver: one process yielding a
+    ``call()`` event per round trip (the pre-overhaul shape)."""
+    sim, client = _rpc_pair()
 
     def loop():
         for i in range(n_calls):

@@ -27,7 +27,7 @@ from repro.consensus.raft import ProposeArgs, ProposeReply, WitnessRecordArgs
 from repro.kvstore.operations import Operation, Read
 from repro.rifl import RiflClientTracker
 from repro.rpc import AppError, RpcError, RpcTransport
-from repro.sim.events import AllOf
+from repro.sim.events import QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -98,15 +98,32 @@ class RaftCurpClient:
             record = WitnessRecordArgs(
                 term=self.term, key_hashes=op.key_hashes(), rpc_id=rpc_id,
                 request=RecordedRequest(op=op, rpc_id=rpc_id))
-            propose_call = self.host.spawn(self._propose(leader, propose),
-                                           name="propose")
-            record_calls = [self.host.spawn(self._record(replica, record),
-                                            name="w-record")
-                            for replica in self.replicas]
-            results = yield AllOf(self.sim,
-                                  [propose_call] + record_calls)
-            status, payload = results[propose_call]
-            accepts = sum(1 for call in record_calls if results[call])
+            # Callback fan-out (1 propose + 2f+1 records): completions
+            # land in one pre-sized join, no wrapper process per call.
+            join = QuorumEvent(self.sim, 1 + len(self.replicas))
+            self.transport.call_cb(leader, "propose", propose,
+                                   join.child_result, 0,
+                                   timeout=self.rpc_timeout * 4)
+            for index, replica in enumerate(self.replicas):
+                self.transport.call_cb(replica, "w_record", record,
+                                       join.child_result, 1 + index,
+                                       timeout=self.rpc_timeout)
+            results = yield join
+            head = results[0]
+            if isinstance(head, AppError):
+                status, payload = "app", head
+            elif isinstance(head, BaseException):
+                status, payload = "timeout", head
+            else:
+                status, payload = "ok", head
+            accepts = 0
+            for outcome in results[1:]:
+                if isinstance(outcome, BaseException):
+                    continue  # replica unreachable
+                w_status, w_term, _hint = outcome
+                self.term = max(self.term, w_term)
+                if w_status == "ACCEPTED":
+                    accepts += 1
             if status == "ok":
                 reply: ProposeReply = payload
                 self.term = max(self.term, reply.term)
@@ -166,23 +183,3 @@ class RaftCurpClient:
             yield self.sim.timeout(self.retry_backoff)
         raise ConsensusGaveUp("read failed")
 
-    # ------------------------------------------------------------------
-    def _propose(self, leader: str, args: ProposeArgs):
-        try:
-            reply = yield self.transport.call(leader, "propose", args,
-                                              timeout=self.rpc_timeout * 4)
-            return "ok", reply
-        except AppError as error:
-            return "app", error
-        except RpcError as error:
-            return "timeout", error
-
-    def _record(self, replica: str, args: WitnessRecordArgs):
-        try:
-            outcome = yield self.transport.call(replica, "w_record", args,
-                                                timeout=self.rpc_timeout)
-        except RpcError:
-            return False
-        status, term, _hint = outcome
-        self.term = max(self.term, term)
-        return status == "ACCEPTED"

@@ -33,7 +33,7 @@ from repro.kvstore.operations import Operation, Read
 from repro.kvstore.store import KVStore
 from repro.rifl import DuplicateState, ResultRegistry
 from repro.rpc import AppError, RpcError, RpcTransport
-from repro.sim.events import AllOf
+from repro.sim.events import QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -241,27 +241,28 @@ class RaftNode:
                                last_log_index=self.last_log_index(),
                                last_log_term=self.last_log_term())
         votes = 1
-        calls = [self.host.spawn(self._ask_vote(peer, args), name="vote")
-                 for peer in self.peers if peer != self.name]
-        results = yield AllOf(self.sim, calls)
+        # Callback fan-out: replies land in the quorum join straight
+        # from response delivery — no wrapper process per peer.
+        others = [peer for peer in self.peers if peer != self.name]
+        join = QuorumEvent(self.sim, len(others))
+        for index, peer in enumerate(others):
+            self.transport.call_cb(peer, "request_vote", args,
+                                   join.child_result, index,
+                                   timeout=self.config.rpc_timeout)
+        replies = yield join
         if self.current_term != term or self.role != "candidate":
             return
-        votes += sum(1 for call in calls if results[call])
+        for reply in replies:
+            if isinstance(reply, BaseException) or reply is None:
+                continue  # unreachable peer
+            reply_term, granted = reply
+            if reply_term > self.current_term:
+                self._become_follower(reply_term)
+                return
+            if granted:
+                votes += 1
         if votes >= self.majority:
             yield from self._become_leader()
-
-    def _ask_vote(self, peer: str, args: RequestVoteArgs):
-        try:
-            reply = yield self.transport.call(
-                peer, "request_vote", args,
-                timeout=self.config.rpc_timeout)
-        except RpcError:
-            return False
-        term, granted = reply
-        if term > self.current_term:
-            self._become_follower(term)
-            return False
-        return granted
 
     def _handle_request_vote(self, args: RequestVoteArgs, ctx):
         if args.term > self.current_term:
@@ -319,11 +320,12 @@ class RaftNode:
                and self.current_term == term):
             for peer in self.peers:
                 if peer != self.name:
-                    self.host.spawn(self._replicate_to(peer),
-                                    name=f"ae-{peer}")
+                    self._replicate_to(peer)
             yield self.sim.timeout(self.config.heartbeat_interval)
 
-    def _replicate_to(self, peer: str):
+    def _replicate_to(self, peer: str) -> None:
+        """Send one AppendEntries; the reply continuation runs straight
+        from response delivery (no process per peer per round)."""
         if self.role != "leader":
             return
         next_index = self._next_index.get(peer, 1)
@@ -334,17 +336,21 @@ class RaftNode:
                                  prev_index=prev_index, prev_term=prev_term,
                                  entries=entries,
                                  leader_commit=self.commit_index)
-        try:
-            reply = yield self.transport.call(
-                peer, "append_entries", args,
-                timeout=self.config.rpc_timeout)
-        except RpcError:
-            return
+        self.transport.call_cb(peer, "append_entries", args,
+                               self._on_append_reply, peer,
+                               self.current_term,
+                               timeout=self.config.rpc_timeout)
+
+    def _on_append_reply(self, peer: str, sent_term: int, reply,
+                         error) -> None:
+        if error is not None:
+            return  # peer unreachable; the next heartbeat retries
         term, success, match = reply
         if term > self.current_term:
             self._become_follower(term)
             return
-        if self.role != "leader" or term != self.current_term:
+        if (self.role != "leader" or sent_term != self.current_term
+                or term != self.current_term):
             return
         if success:
             self._last_ack[peer] = self.sim.now
@@ -494,7 +500,7 @@ class RaftNode:
         self._spec_results[entry.index] = result
         for peer in self.peers:
             if peer != self.name:
-                self.host.spawn(self._replicate_to(peer), name="ae")
+                self._replicate_to(peer)
         if not self.config.curp or conflict:
             self.stats["conflict_commits"] += 1
             return self._reply_after_commit(entry.index, result, ctx)

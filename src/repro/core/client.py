@@ -52,7 +52,7 @@ from repro.kvstore.hashing import key_hash
 from repro.kvstore.operations import Operation
 from repro.rifl import RiflClientTracker
 from repro.rpc import AppError, RpcError, RpcTimeout, RpcTransport
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -81,6 +81,11 @@ class UpdateOutcome:
 class CurpClient:
     """One application client."""
 
+    #: test hook (tests/sim/test_scheduler_determinism.py): swap the
+    #: cold-path AllOf join for a watch-mode QuorumEvent — dispatch
+    #: sequences must stay identical.
+    join_with_quorum = False
+
     def __init__(self, host: "Host", config: CurpConfig,
                  coordinator: str | None = None,
                  collect_outcomes: bool = True):
@@ -102,15 +107,30 @@ class CurpClient:
     # bootstrap
     # ------------------------------------------------------------------
     def connect(self):
-        """Generator: obtain a client id (lease) and the cluster view."""
+        """Generator: obtain a client id (lease) and the cluster view.
+
+        Retries on dropped/timed-out coordinator RPCs (a fresh
+        ``register_client`` is issued per attempt; an orphaned id from
+        a half-finished attempt simply lets its lease expire).
+        """
         if self.coordinator is None:
             raise RuntimeError("connect() requires a coordinator address")
-        client_id = yield self.transport.call(
-            self.coordinator, "register_client", None,
-            timeout=self.config.rpc_timeout)
-        self.tracker = RiflClientTracker(client_id)
-        yield from self._refresh_view()
-        return client_id
+        last_error: Exception | None = None
+        for _attempt in range(1, self.config.max_attempts + 1):
+            try:
+                client_id = yield self.transport.call(
+                    self.coordinator, "register_client", None,
+                    timeout=self.config.rpc_timeout)
+                self.tracker = RiflClientTracker(client_id)
+                yield from self._refresh_view()
+                return client_id
+            except RpcError as error:
+                last_error = error
+                if self.config.retry_backoff > 0:
+                    yield self.sim.timeout(self.config.retry_backoff)
+        raise ClientGaveUp(f"connect failed after "
+                           f"{self.config.max_attempts} attempts: "
+                           f"{last_error!r}")
 
     def attach(self, client_id: int, view: ClusterView) -> None:
         """Direct bootstrap for unit tests: skip the coordinator RPCs."""
@@ -149,27 +169,18 @@ class CurpClient:
                               witness_list_version=master.witness_list_version)
             use_witnesses = (self.config.mode is ReplicationMode.CURP
                              and len(master.witnesses) > 0)
-            # Fire the update RPC first, then the witness records: all
-            # leave through the client NIC back to back (§3.2.1).
-            master_call = self.host.spawn(
-                self._call_master(master.host, args), name="update-rpc")
-            record_calls = []
-            if use_witnesses:
-                record = RecordArgs(
-                    master_id=master.master_id,
-                    key_hashes=op.key_hashes(), rpc_id=rpc_id,
-                    request=RecordedRequest(op=op, rpc_id=rpc_id))
-                # A record carries the whole request (op + value), so
-                # it is roughly update-RPC-sized on the wire (§5.2).
-                record_calls = [
-                    self.host.spawn(self._record_on(witness, record),
-                                    name="record-rpc")
-                    for witness in master.witnesses]
-            results = yield AllOf(self.sim, [master_call] + record_calls)
-            status, payload = results[master_call]
+            witnesses = master.witnesses if use_witnesses else ()
+            if self.config.fast_completion:
+                status, payload, accepted_flags = (
+                    yield from self._fanout_fast(master, args, op, rpc_id,
+                                                 witnesses))
+            else:
+                status, payload, accepted_flags = (
+                    yield from self._fanout_spawned(master, args, op, rpc_id,
+                                                    witnesses))
             if status == "ok":
                 reply: UpdateReply = payload
-                accepted = all(results[c] for c in record_calls)
+                accepted = all(accepted_flags)
                 if reply.synced:
                     return self._complete(op, rpc_id, reply.result, started,
                                           attempt, fast=False, by_master=True,
@@ -212,9 +223,9 @@ class CurpClient:
                     # op (so never gc them) and the key's hash no
                     # longer routes here (so the §4.5 suspect path can
                     # never reclaim them either).
-                    accepted = [witness for witness, call
-                                in zip(master.witnesses, record_calls)
-                                if results[call]]
+                    accepted = [witness for witness, ok
+                                in zip(witnesses, accepted_flags)
+                                if ok]
                     self._abort_records(master.master_id, accepted,
                                         op, rpc_id)
                     yield from self._refresh_routing()
@@ -225,6 +236,89 @@ class CurpClient:
         raise ClientGaveUp(
             f"update {op!r} failed after {self.config.max_attempts} "
             f"attempts: {last_error!r}")
+
+    # ------------------------------------------------------------------
+    # the 1 + f fan-out (§3.2.1)
+    # ------------------------------------------------------------------
+    def _fanout_fast(self, master: MasterInfo, args: UpdateArgs,
+                     op: Operation, rpc_id,
+                     witnesses: typing.Sequence[str]):
+        """Generator: issue update + records via the callback fast path.
+
+        One slotted :class:`QuorumEvent` per update; completions land in
+        its pre-sized results list straight from response delivery — no
+        wrapper process or per-call event (docs/PERFORMANCE.md).
+        Returns ``(status, payload, accepted_flags)`` exactly like
+        :meth:`_fanout_spawned`.
+        """
+        timeout = self.config.rpc_timeout
+        quorum = QuorumEvent(self.sim, 1 + len(witnesses))
+        # Fire the update RPC first, then the witness records: all
+        # leave through the client NIC back to back (§3.2.1).
+        self.transport.call_cb(master.host, "update", args,
+                               quorum.child_result, 0, timeout=timeout)
+        if witnesses:
+            record = RecordArgs(
+                master_id=master.master_id,
+                key_hashes=op.key_hashes(), rpc_id=rpc_id,
+                request=RecordedRequest(op=op, rpc_id=rpc_id))
+            for index, witness in enumerate(witnesses):
+                self.transport.call_cb(witness, "record", record,
+                                       quorum.child_result, 1 + index,
+                                       timeout=timeout)
+        results = yield quorum
+        reply = results[0]
+        if isinstance(reply, AppError):
+            status, payload = "app", reply
+        elif isinstance(reply, BaseException):
+            status, payload = "timeout", reply
+        else:
+            status, payload = "ok", reply
+        accepted_flags = [value == RECORD_ACCEPTED for value in results[1:]]
+        return status, payload, accepted_flags
+
+    def _fanout_spawned(self, master: MasterInfo, args: UpdateArgs,
+                        op: Operation, rpc_id,
+                        witnesses: typing.Sequence[str]):
+        """Generator: the legacy fan-out — one wrapper process per call,
+        joined by :meth:`_join_values`.  Dispatch-for-dispatch identical
+        to the seed client (the golden trace pins it)."""
+        # Fire the update RPC first, then the witness records: all
+        # leave through the client NIC back to back (§3.2.1).
+        master_call = self.host.spawn(
+            self._call_master(master.host, args), name="update-rpc")
+        record_calls = []
+        if witnesses:
+            record = RecordArgs(
+                master_id=master.master_id,
+                key_hashes=op.key_hashes(), rpc_id=rpc_id,
+                request=RecordedRequest(op=op, rpc_id=rpc_id))
+            # A record carries the whole request (op + value), so
+            # it is roughly update-RPC-sized on the wire (§5.2).
+            record_calls = [
+                self.host.spawn(self._record_on(witness, record),
+                                name="record-rpc")
+                for witness in witnesses]
+        values = yield from self._join_values([master_call] + record_calls)
+        status, payload = values[0]
+        return status, payload, values[1:]
+
+    def _join_values(self, events):
+        """Generator: wait for all of ``events``; values positionally.
+
+        The cold-path join.  ``CurpClient.join_with_quorum`` swaps the
+        ``AllOf`` combinator for a watch-mode :class:`QuorumEvent`;
+        the two must produce identical dispatch sequences
+        (tests/sim/test_scheduler_determinism.py pins this).
+        """
+        if CurpClient.join_with_quorum:
+            quorum = QuorumEvent(self.sim, len(events))
+            for event in events:
+                quorum.watch(event)
+            values = yield quorum
+            return values
+        results = yield AllOf(self.sim, events)
+        return [results[event] for event in events]
 
     def _call_master(self, master_host: str, args: UpdateArgs):
         try:
@@ -346,13 +440,27 @@ class CurpClient:
         master = self._master_for((key,))
         probe = ProbeArgs(master_id=master.master_id,
                           key_hashes=(key_hash(key),))
-        probe_call = self.host.spawn(
-            self._probe_witness(witness, probe), name="probe")
-        read_call = self.host.spawn(
-            self._read_backup(backup, key), name="backup-read")
-        results = yield AllOf(self.sim, [probe_call, read_call])
-        commutes = results[probe_call]
-        backup_ok, value = results[read_call]
+        if self.config.fast_completion:
+            quorum = QuorumEvent(self.sim, 2)
+            self.transport.call_cb(witness, "probe", probe,
+                                   quorum.child_result, 0,
+                                   timeout=self.config.rpc_timeout)
+            self.transport.call_cb(backup, "backup_read",
+                                   BackupReadArgs(key=key),
+                                   quorum.child_result, 1,
+                                   timeout=self.config.rpc_timeout)
+            results = yield quorum
+            commutes = results[0] == PROBE_COMMUTE
+            backup_ok = not isinstance(results[1], BaseException)
+            value = results[1] if backup_ok else None
+        else:
+            probe_call = self.host.spawn(
+                self._probe_witness(witness, probe), name="probe")
+            read_call = self.host.spawn(
+                self._read_backup(backup, key), name="backup-read")
+            values = yield from self._join_values([probe_call, read_call])
+            commutes = values[0]
+            backup_ok, value = values[1]
         if commutes and backup_ok:
             self.completed_reads += 1
             return value

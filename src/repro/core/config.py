@@ -69,6 +69,26 @@ class CurpConfig:
     max_gc_batch: int = 0
     #: quiet time (µs) before leftover coalesced gc pairs are flushed
     gc_flush_delay: float = 200.0
+    #: merge gc batches into same-host sync traffic (requires
+    #: max_gc_batch > 0): when a witness is colocated on one of the
+    #: master's backup hosts (the Figure 2 deployment), the master
+    #: attaches the ready gc chunk to that host's next ``replicate``
+    #: RPC instead of sending a standalone ``gc_batch`` — one RPC to
+    #: the shared host where there were two.  Saved RPCs are counted
+    #: in ``MasterStats.gc_rpcs_saved``.
+    gc_piggyback: bool = False
+
+    # -- protocol hot path (docs/PERFORMANCE.md) ------------------------
+    #: True = clients and masters run the callback fast path: the
+    #: 1 + f CURP fan-out goes through ``RpcTransport.call_cb`` into a
+    #: ``QuorumEvent`` and the master's update lifecycle runs
+    #: continuation-style, with no generator process or ``AllOf`` dict
+    #: per operation.  Virtual-time results are identical to the
+    #: generator path (same messages at the same instants); only the
+    #: within-instant dispatch sequence — and therefore
+    #: ``processed_events`` and wall-clock cost — changes.  False (the
+    #: default) keeps the PR 1 golden-trace dispatch order exactly.
+    fast_completion: bool = False
 
     # -- client behaviour ------------------------------------------------
     #: per-RPC timeout for client operations
@@ -94,6 +114,8 @@ class CurpConfig:
             raise ValueError("max_gc_batch must be >= 0 (0 disables batching)")
         if self.gc_flush_delay <= 0:
             raise ValueError("gc_flush_delay must be > 0")
+        if self.gc_piggyback and self.max_gc_batch == 0:
+            raise ValueError("gc_piggyback requires max_gc_batch > 0")
         if self.mode is ReplicationMode.UNREPLICATED and self.f != 0:
             raise ValueError("unreplicated mode requires f=0")
 

@@ -47,7 +47,7 @@ from repro.kvstore.operations import Operation, Read
 from repro.kvstore.store import KVStore
 from repro.rifl import DuplicateState, ResultRegistry
 from repro.rpc import AppError, RpcError, RpcTimeout, RpcTransport
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -82,6 +82,9 @@ class MasterStats:
     gc_pairs: int = 0
     #: batched-gc flushes (each sends one RPC per witness)
     gc_flushes: int = 0
+    #: gc RPCs avoided by merging the batch into a colocated backup's
+    #: replicate RPC (config.gc_piggyback — the sending-edge merge)
+    gc_rpcs_saved: int = 0
     stale_suspects_handled: int = 0
     duplicates_filtered: int = 0
     hot_key_syncs: int = 0
@@ -201,6 +204,10 @@ class CurpMaster:
         if state is DuplicateState.STALE:
             # The client already acknowledged this RPC; §4.8 says ignore.
             raise AppError("STALE_RPC", {"rpc_id": str(args.rpc_id)})
+        if self.config.fast_completion:
+            # Callback fast path: no generator process per update.
+            self._update_begin(op, args.rpc_id, ctx)
+            return RpcTransport.DEFERRED
         return self._update_process(op, args.rpc_id, ctx)
 
     def _update_process(self, op: Operation, rpc_id, ctx):
@@ -263,12 +270,146 @@ class CurpMaster:
             self._arm_flush_timer()
 
     # ------------------------------------------------------------------
+    # update path, callback fast mode (config.fast_completion)
+    # ------------------------------------------------------------------
+    # The continuation-passing mirror of _update_process: same stages at
+    # the same virtual instants, but no generator/process allocation per
+    # update.  Continuations crossing an async boundary carry the host
+    # incarnation — a crash mid-update must kill the lifecycle exactly
+    # as it interrupts the generator path's process.
+    def _update_begin(self, op: Operation, rpc_id, ctx) -> None:
+        incarnation = self.host.incarnation
+        if self.workers.try_acquire():
+            self._update_execute(op, rpc_id, ctx, incarnation)
+        else:
+            self.workers.request().when_done(self._update_granted,
+                                             op, rpc_id, ctx, incarnation)
+
+    def _update_granted(self, _grant, op: Operation, rpc_id, ctx,
+                        incarnation: int) -> None:
+        self._update_execute(op, rpc_id, ctx, incarnation)
+
+    def _gone(self, incarnation: int) -> bool:
+        """True when the host crashed since the continuation was armed
+        (the generator path's Interrupt, in callback form)."""
+        return not self.host.alive or self.host.incarnation != incarnation
+
+    def _update_execute(self, op: Operation, rpc_id, ctx,
+                        incarnation: int) -> None:
+        if self._gone(incarnation):
+            return
+        if self.execute_time > 0:
+            self.sim.schedule_callback(self.execute_time,
+                                       self._update_executed,
+                                       op, rpc_id, ctx, incarnation)
+        else:
+            self._update_executed(op, rpc_id, ctx, incarnation)
+
+    def _update_executed(self, op: Operation, rpc_id, ctx,
+                         incarnation: int) -> None:
+        if self._gone(incarnation):
+            return
+        mode = self.config.mode
+        hot = False
+        try:
+            # Commutativity + hot-key checks look at state *before* the
+            # operation mutates it.
+            conflict = any(
+                self.store.is_unsynced(key, self.synced_position)
+                for key in op.touched_keys())
+            if self.config.hot_key_window > 0:
+                now = self.sim.now
+                for key in op.mutated_keys():
+                    last = self.store.last_update_time_of(key)
+                    if last is not None \
+                            and now - last <= self.config.hot_key_window:
+                        hot = True
+                        break
+            result, entry = self.store.execute(op, rpc_id=rpc_id,
+                                               now=self.sim.now)
+            assert entry is not None
+            self.registry.record(rpc_id, result, log_position=entry.index)
+            self.stats.updates += 1
+
+            if mode is ReplicationMode.UNREPLICATED:
+                self.synced_position = self.store.log.end
+                ctx.reply(UpdateReply(result=result, synced=True))
+                self.workers.release()
+                return
+            if mode is ReplicationMode.SYNC:
+                # Hold the worker through the backup round trip; it is
+                # released by the continuation — the polling cost §4.4
+                # blames for the "Original" ceiling.
+                self._request_sync(entry.index).when_done(
+                    self._update_synced_reply, result, ctx, incarnation)
+                return
+            # CURP / ASYNC
+            if self.config.uses_witnesses:
+                self._pending_gc.append(
+                    (entry.index, op.key_hashes(), rpc_id))
+            if conflict:
+                self.stats.conflict_syncs += 1
+                self._request_sync(entry.index).when_done(
+                    self._update_synced_reply, result, ctx, incarnation)
+                return
+            self.stats.speculative_replies += 1
+            ctx.reply(UpdateReply(result=result, synced=False))
+        except AppError as error:
+            if not ctx.replied:
+                ctx.reply_error(error.code, error.info)
+            self.workers.release()
+            return
+        except Exception as error:  # noqa: BLE001 - serialize to caller
+            if not ctx.replied:
+                ctx.reply_error("REMOTE_ERROR",
+                                f"{type(error).__name__}: {error}")
+            self.workers.release()
+            return
+        self.workers.release()
+        # Post-reply sync scheduling (speculative path only).
+        unsynced = self.store.log.end - self.synced_position
+        if hot:
+            self.stats.hot_key_syncs += 1
+            self._kick_sync()
+        elif unsynced >= self.config.min_sync_batch:
+            self._kick_sync()
+        else:
+            self._arm_flush_timer()
+
+    @staticmethod
+    def _reply_failure(event, ctx) -> None:
+        """Map a failed event to an error reply (the continuation-path
+        equivalent of _run_handler_process's error serialization)."""
+        if ctx.replied:
+            return
+        error = event.exception
+        if isinstance(error, AppError):
+            ctx.reply_error(error.code, error.info)
+        else:
+            ctx.reply_error("REMOTE_ERROR",
+                            f"{type(error).__name__}: {error}")
+
+    def _update_synced_reply(self, event, result, ctx,
+                             incarnation: int) -> None:
+        """Sync-then-reply continuation (SYNC mode and conflict path)."""
+        if self._gone(incarnation):
+            return
+        if event.ok:
+            ctx.reply(UpdateReply(result=result, synced=True))
+        else:
+            self._reply_failure(event, ctx)
+        self.workers.release()
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def _handle_read(self, args: ReadArgs, ctx):
         self._check_serviceable()
         if not self.owns_all((args.key,)):
             raise AppError("WRONG_SHARD", {"master": self.master_id})
+        if self.config.fast_completion:
+            self._read_begin(args, ctx)
+            return RpcTransport.DEFERRED
         return self._read_process(args, ctx)
 
     def _read_process(self, args: ReadArgs, ctx):
@@ -300,15 +441,90 @@ class CurpMaster:
             self.workers.release()
 
     # ------------------------------------------------------------------
+    # read path, callback fast mode (mirrors _read_process)
+    # ------------------------------------------------------------------
+    def _read_begin(self, args: ReadArgs, ctx) -> None:
+        incarnation = self.host.incarnation
+        if self.workers.try_acquire():
+            self._read_execute(args, ctx, incarnation)
+        else:
+            self.workers.request().when_done(self._read_granted,
+                                             args, ctx, incarnation)
+
+    def _read_granted(self, _grant, args: ReadArgs, ctx,
+                      incarnation: int) -> None:
+        self._read_execute(args, ctx, incarnation)
+
+    def _read_execute(self, args: ReadArgs, ctx, incarnation: int) -> None:
+        if self._gone(incarnation):
+            return
+        if self.execute_time > 0:
+            self.sim.schedule_callback(self.execute_time,
+                                       self._read_executed,
+                                       args, ctx, incarnation)
+        else:
+            self._read_executed(args, ctx, incarnation)
+
+    def _read_executed(self, args: ReadArgs, ctx, incarnation: int) -> None:
+        if self._gone(incarnation):
+            return
+        try:
+            self.stats.reads += 1
+            if not args.allow_unsynced and \
+                    self.store.is_unsynced(args.key, self.synced_position):
+                # Worker held through the sync, as in the generator path.
+                self._request_sync(
+                    self.store.last_position_of(args.key)).when_done(
+                    self._read_after_sync, args, ctx, incarnation)
+                return
+            self._read_reply(args, ctx)
+        except Exception as error:  # noqa: BLE001 - serialize to caller
+            if not ctx.replied:
+                ctx.reply_error("REMOTE_ERROR",
+                                f"{type(error).__name__}: {error}")
+        self.workers.release()
+
+    def _read_after_sync(self, event, args: ReadArgs, ctx,
+                         incarnation: int) -> None:
+        if self._gone(incarnation):
+            return
+        try:
+            if event.ok:
+                self._read_reply(args, ctx)
+            else:
+                self._reply_failure(event, ctx)
+        finally:
+            self.workers.release()
+
+    def _read_reply(self, args: ReadArgs, ctx) -> None:
+        value, _ = self.store.execute(Read(args.key))
+        if args.return_version:
+            ctx.reply((value, self.store.version(args.key)))
+        else:
+            ctx.reply(value)
+
+    # ------------------------------------------------------------------
     # client slow path
     # ------------------------------------------------------------------
     def _handle_sync(self, args, ctx):
         """Client couldn't record on all witnesses: make state durable."""
         self._check_serviceable()
+        if self.config.fast_completion:
+            self._request_sync(self.store.log.end).when_done(
+                self._sync_rpc_done, ctx, self.host.incarnation)
+            return RpcTransport.DEFERRED
         def work():
             yield self._request_sync(self.store.log.end)
             return "SYNCED"
         return work()
+
+    def _sync_rpc_done(self, event, ctx, incarnation: int) -> None:
+        if self._gone(incarnation):
+            return
+        if event.ok:
+            ctx.reply("SYNCED")
+        else:
+            self._reply_failure(event, ctx)
 
     # ------------------------------------------------------------------
     # sync machinery
@@ -348,13 +564,55 @@ class CurpMaster:
                 args = ReplicateArgs(master_id=self.master_id,
                                      epoch=self.epoch, entries=entries)
                 wire_size = RPC_HEADER_BYTES + ENTRY_WIRE_BYTES * len(entries)
-                acks = [self.transport.call(backup, "replicate", args,
-                                            timeout=self.config.rpc_timeout,
-                                            request_size=wire_size)
+                # Sending-edge gc merge (config.gc_piggyback): witnesses
+                # colocated on our backup hosts get the ready gc chunk
+                # inside that host's replicate RPC — one RPC to the
+                # shared host where a standalone gc_batch would have
+                # been the second.  Pairs in _gc_ready are durable from
+                # *previous* rounds, so shipping them with this round's
+                # entries is safe.
+                batch, rounds, riders, standalone = self._take_piggyback()
+                gc_args = None
+                if batch:
+                    gc_args = ReplicateArgs(
+                        master_id=self.master_id, epoch=self.epoch,
+                        entries=entries, gc_pairs=batch, gc_rounds=rounds)
+                    gc_wire_size = (wire_size
+                                    + GC_PAIR_WIRE_BYTES * len(batch))
+                acks: list = []
+                if self.config.fast_completion:
+                    # Callback fan-out: acks land in the join straight
+                    # from response delivery; fail_fast reproduces
+                    # AllOf's first-error contract.
+                    join = QuorumEvent(self.sim, len(self.backups),
+                                       fail_fast=True)
+                    acks = join.results
+                    for index, backup in enumerate(self.backups):
+                        if backup in riders:
+                            self.transport.call_cb(
+                                backup, "replicate", gc_args,
+                                join.child_result, index,
+                                timeout=self.config.rpc_timeout,
+                                request_size=gc_wire_size)
+                        else:
+                            self.transport.call_cb(
+                                backup, "replicate", args,
+                                join.child_result, index,
+                                timeout=self.config.rpc_timeout,
+                                request_size=wire_size)
+                else:
+                    calls = [self.transport.call(
+                        backup, "replicate",
+                        gc_args if backup in riders else args,
+                        timeout=self.config.rpc_timeout,
+                        request_size=(gc_wire_size if backup in riders
+                                      else wire_size))
                         for backup in self.backups]
+                    join = AllOf(self.sim, calls)
                 try:
-                    yield AllOf(self.sim, acks)
+                    yield join
                 except AppError as error:
+                    self._requeue_piggyback(batch, rounds)
                     if error.code == "FENCED":
                         self._become_deposed()
                         return
@@ -362,12 +620,36 @@ class CurpMaster:
                 except RpcTimeout:
                     # A backup is unreachable; durability requires all f
                     # acks, so retry (the coordinator replaces dead
-                    # backups out of band).
+                    # backups out of band).  Re-queue the merged gc
+                    # chunk: a witness that did receive it treats the
+                    # re-send as a no-op.
+                    self._requeue_piggyback(batch, rounds)
                     continue
+                if not self.config.fast_completion:
+                    acks = [call.value for call in calls]
                 self.synced_position = entries[-1].index
                 self.stats.syncs += 1
                 self.stats.synced_entries += len(entries)
                 self._wake_sync_waiters()
+                if batch:
+                    self.stats.gc_pairs += len(batch)
+                    self.stats.gc_flushes += 1
+                    self.stats.gc_rpcs_saved += len(riders)
+                    # Stale suspects ride the merged acks' return leg;
+                    # standalone gc covers the non-colocated witnesses.
+                    for backup, ack in zip(self.backups, acks):
+                        if backup in riders and type(ack) is tuple:
+                            for request in ack[1]:
+                                self._handle_stale_suspect(request)
+                    if standalone:
+                        self.stats.gc_rpcs += len(standalone)
+                        yield from self._gc_fanout(
+                            "gc_batch",
+                            GcBatchArgs(master_id=self.master_id,
+                                        pairs=batch, rounds=rounds),
+                            RPC_HEADER_BYTES
+                            + GC_PAIR_WIRE_BYTES * len(batch),
+                            standalone)
                 if self.config.uses_witnesses and self.witnesses:
                     if self.config.max_gc_batch == 0:
                         # Per-round cadence: one gc RPC per witness per
@@ -395,6 +677,44 @@ class CurpMaster:
             self._sync_active = False
         if self.synced_position < self.store.log.end:
             self._arm_flush_timer()
+
+    def _take_piggyback(self):
+        """Carve this sync round's merged gc chunk (config.gc_piggyback).
+
+        Returns ``(batch, rounds, riders, standalone)``: the durable
+        (key hash, RpcId) pairs to ship, the coalesced round count,
+        the witnesses that receive them inside their colocated backup's
+        replicate RPC, and the witnesses still needing a standalone
+        ``gc_batch``.  Empty batch = nothing to merge this round.
+        """
+        if (not self.config.gc_piggyback or not self._gc_ready
+                or not self.config.uses_witnesses or not self.witnesses):
+            return (), 0, frozenset(), ()
+        riders = frozenset(witness for witness in self.witnesses
+                           if witness in self.backups)
+        if not riders:
+            return (), 0, frozenset(), ()
+        limit = self.config.max_gc_batch or len(self._gc_ready)
+        batch = tuple(self._gc_ready[:limit])
+        del self._gc_ready[:len(batch)]
+        rounds = self._gc_rounds_pending
+        self._gc_rounds_pending = 0
+        standalone = tuple(witness for witness in self.witnesses
+                           if witness not in riders)
+        return batch, rounds, riders, standalone
+
+    def _requeue_piggyback(self, batch, _rounds: int) -> None:
+        """Put a merged chunk back after a failed sync round.
+
+        Witnesses that already applied it treat the re-sent *pairs* as
+        a no-op, but their stale-suspect clock advanced — so the
+        shipped ``rounds`` count is deliberately dropped rather than
+        restored.  A witness the failed round never reached under-ages
+        by that one round, which errs on the side of *fewer* premature
+        stale suspects; restoring it would double-age the witnesses
+        that did apply the batch."""
+        if batch:
+            self._gc_ready[:0] = batch
 
     def _wake_sync_waiters(self) -> None:
         still_waiting = []
@@ -433,13 +753,34 @@ class CurpMaster:
             return
         args = GcArgs(master_id=self.master_id, pairs=tuple(pairs))
         wire_size = RPC_HEADER_BYTES + GC_PAIR_WIRE_BYTES * len(pairs)
-        calls = [self.transport.call(witness, "gc", args,
-                                     timeout=self.config.rpc_timeout,
-                                     request_size=wire_size)
-                 for witness in self.witnesses]
-        self.stats.gc_rpcs += len(calls)
+        self.stats.gc_rpcs += len(self.witnesses)
         self.stats.gc_pairs += len(pairs)
         self.stats.gc_flushes += 1
+        yield from self._gc_fanout("gc", args, wire_size, self.witnesses)
+
+    def _gc_fanout(self, method: str, args, wire_size: int,
+                   witnesses: typing.Sequence[str]):
+        """Generator: one gc RPC per witness, suspects handled as the
+        replies land; unreachable witnesses are skipped (the coordinator
+        replaces them out of band)."""
+        if self.config.fast_completion:
+            join = QuorumEvent(self.sim, len(witnesses))
+            for index, witness in enumerate(witnesses):
+                self.transport.call_cb(witness, method, args,
+                                       join.child_result, index,
+                                       timeout=self.config.rpc_timeout,
+                                       request_size=wire_size)
+            results = yield join
+            for stale in results:
+                if isinstance(stale, BaseException):
+                    continue  # witness down/replaced
+                for request in stale:
+                    self._handle_stale_suspect(request)
+            return
+        calls = [self.transport.call(witness, method, args,
+                                     timeout=self.config.rpc_timeout,
+                                     request_size=wire_size)
+                 for witness in witnesses]
         for call in calls:
             try:
                 stale = yield call
@@ -484,20 +825,11 @@ class CurpMaster:
                                    rounds=rounds)
                 wire_size = (RPC_HEADER_BYTES
                              + GC_PAIR_WIRE_BYTES * len(batch))
-                calls = [self.transport.call(witness, "gc_batch", args,
-                                             timeout=self.config.rpc_timeout,
-                                             request_size=wire_size)
-                         for witness in self.witnesses]
-                self.stats.gc_rpcs += len(calls)
+                self.stats.gc_rpcs += len(self.witnesses)
                 self.stats.gc_pairs += len(batch)
                 self.stats.gc_flushes += 1
-                for call in calls:
-                    try:
-                        stale = yield call
-                    except RpcError:
-                        continue  # witness down; coordinator handles it
-                    for request in stale:
-                        self._handle_stale_suspect(request)
+                yield from self._gc_fanout("gc_batch", args, wire_size,
+                                           self.witnesses)
         finally:
             self._gc_flush_active = False
 

@@ -84,11 +84,28 @@ class WitnessServer:
     # ------------------------------------------------------------------
     def _handle_record(self, args: RecordArgs, ctx):
         if self.record_time > 0:
-            def work():
-                yield self.sim.timeout(self.record_time)
-                return self._record_now(args)
-            return work()
+            # Charge the CPU time without spawning a process per record
+            # (the witness sees one of these per update per client —
+            # hot path).  The incarnation guard reproduces the old
+            # generator's crash semantics: a record in flight when the
+            # host dies is dropped, not replied to.
+            self.sim.schedule_callback(self.record_time,
+                                       self._record_deferred, args, ctx,
+                                       self.host.incarnation)
+            return RpcTransport.DEFERRED
         return self._record_now(args)
+
+    def _record_deferred(self, args: RecordArgs, ctx,
+                         incarnation: int) -> None:
+        if not self.host.alive or self.host.incarnation != incarnation:
+            return
+        try:
+            ctx.reply(self._record_now(args))
+        except Exception as error:  # noqa: BLE001 - serialize to caller,
+            # matching the generator path's REMOTE_ERROR containment
+            if not ctx.replied:
+                ctx.reply_error("REMOTE_ERROR",
+                                f"{type(error).__name__}: {error}")
 
     def _record_now(self, args: RecordArgs) -> str:
         self.records_processed += 1
@@ -125,12 +142,23 @@ class WitnessServer:
         """Batched drop: pairs coalesced across sync rounds.  Unknown
         RpcIds are a harmless no-op (the record may have been rejected
         or already collected)."""
-        if self.mode != MODE_NORMAL or args.master_id != self.master_id:
+        stale = self.apply_gc_batch(args.master_id, args.pairs, args.rounds)
+        if stale is None:
             raise AppError("WRONG_WITNESS_STATE", {"mode": self.mode})
+        return stale
+
+    def apply_gc_batch(self, master_id: str, pairs, rounds: int):
+        """Apply a gc batch delivered by any route — the ``gc_batch``
+        RPC or merged into a colocated backup's ``replicate``
+        (config.gc_piggyback).  Returns the stale-suspect tuple, or
+        ``None`` when this witness no longer serves ``master_id`` (the
+        RPC path turns that into WRONG_WITNESS_STATE; the piggyback
+        path drops the batch, as a standalone error would)."""
+        if self.mode != MODE_NORMAL or master_id != self.master_id:
+            return None
         self.gcs_processed += 1
         self.gc_batches_processed += 1
-        stale = self.cache.gc_batch(args.pairs, rounds=args.rounds)
-        return tuple(stale)
+        return tuple(self.cache.gc_batch(pairs, rounds=rounds))
 
     # ------------------------------------------------------------------
     # recovery-facing

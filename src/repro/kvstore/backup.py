@@ -30,6 +30,12 @@ class ReplicateArgs:
     master_id: str
     epoch: int
     entries: tuple[LogEntry, ...]
+    #: gc batch merged into this sync RPC for a witness colocated on
+    #: the backup's host (config.gc_piggyback): already-durable
+    #: (key hash, RpcId) pairs plus the sync-round count for the
+    #: witness's stale-suspect aging clock.  Empty = plain replicate.
+    gc_pairs: tuple = ()
+    gc_rounds: int = 0
 
 
 class BackupServer:
@@ -49,6 +55,9 @@ class BackupServer:
         #: materialized object values (served to §A.1 backup readers);
         #: TOMBSTONE-deleted keys are removed
         self._values: dict[str, typing.Any] = {}
+        #: witness colocated on this host (Figure 2), wired by the
+        #: coordinator; lets a replicate RPC carry a merged gc batch
+        self.witness_sink = None
         # May share the host's endpoint with a colocated witness
         # (Figure 2); method names are disjoint.
         self.transport = transport or RpcTransport(host)
@@ -70,13 +79,45 @@ class BackupServer:
             # complete an operation through the sync path.
             raise AppError("FENCED", {"min_epoch": self.min_epoch})
         if self.process_time > 0:
-            def work():
-                yield self.sim.timeout(self.process_time)
-                self._store(args.entries)
-                return self.last_index
-            return work()
+            # Charge the CPU time without a process per replicate RPC;
+            # the incarnation guard drops work in flight across a crash
+            # exactly as interrupting the old generator did.
+            self.sim.schedule_callback(self.process_time,
+                                       self._replicate_deferred, args, ctx,
+                                       self.host.incarnation)
+            return RpcTransport.DEFERRED
         self._store(args.entries)
-        return self.last_index
+        return self._replicate_reply(args)
+
+    def _replicate_deferred(self, args: ReplicateArgs, ctx,
+                            incarnation: int) -> None:
+        if not self.host.alive or self.host.incarnation != incarnation:
+            return
+        try:
+            self._store(args.entries)
+            ctx.reply(self._replicate_reply(args))
+        except AppError as error:
+            if not ctx.replied:
+                ctx.reply_error(error.code, error.info)
+        except Exception as error:  # noqa: BLE001 - serialize to caller,
+            # matching the generator path's REMOTE_ERROR containment
+            if not ctx.replied:
+                ctx.reply_error("REMOTE_ERROR",
+                                f"{type(error).__name__}: {error}")
+
+    def _replicate_reply(self, args: ReplicateArgs):
+        """Ack value: plain ``last_index``, or ``(last_index, stale)``
+        when a merged gc batch rode along (the stale-suspect list takes
+        the return leg of the same RPC)."""
+        if not args.gc_pairs:
+            return self.last_index
+        stale: tuple = ()
+        if self.witness_sink is not None:
+            applied = self.witness_sink.apply_gc_batch(
+                args.master_id, args.gc_pairs, args.gc_rounds)
+            if applied is not None:
+                stale = applied
+        return (self.last_index, stale)
 
     def _store(self, entries: typing.Sequence[LogEntry]) -> None:
         from repro.kvstore.log import TOMBSTONE

@@ -115,10 +115,11 @@ class Host:
         if not self.alive:
             return
         now = self.sim.now
-        departs = max(now, self._nic_free_at) + self.tx_cost
+        nic_free = self._nic_free_at
+        departs = (now if nic_free <= now else nic_free) + self.tx_cost
         self._nic_free_at = departs
-        if self.shared_dispatch:
-            self._rx_free_at = max(self._rx_free_at, departs)
+        if self.shared_dispatch and self._rx_free_at < departs:
+            self._rx_free_at = departs
         self.network._transmit(self, dst, payload, size_bytes, departs)
 
     def _deliver(self, message: "typing.Any") -> None:

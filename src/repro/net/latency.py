@@ -18,6 +18,9 @@ class LatencyModel:
     def __init__(self, default: Distribution | None = None):
         self.default = default or Fixed(2.0)
         self._overrides: dict[tuple[str, str], Distribution] = {}
+        #: bound sampler of the default distribution (hot-path shortcut
+        #: used when no per-pair override exists)
+        self._default_sample = self.default.sample
 
     def set_pair(self, src: str, dst: str, dist: Distribution,
                  symmetric: bool = True) -> None:
@@ -30,4 +33,6 @@ class LatencyModel:
         return self._overrides.get((src, dst), self.default)
 
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        if not self._overrides:  # common case: one cluster-wide model
+            return self._default_sample(rng)
         return self.distribution(src, dst).sample(rng)

@@ -10,6 +10,7 @@ the benchmarks calibrate the latency models to the paper's clusters.
 from __future__ import annotations
 
 import typing
+from collections import defaultdict
 
 from repro.net.host import Host
 from repro.net.latency import LatencyModel
@@ -27,14 +28,14 @@ class TrafficStats:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
-        self.per_host_sent: dict[str, int] = {}
-        self.per_host_bytes: dict[str, int] = {}
+        self.per_host_sent: dict[str, int] = defaultdict(int)
+        self.per_host_bytes: dict[str, int] = defaultdict(int)
 
     def record_send(self, src: str, size_bytes: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        self.per_host_sent[src] = self.per_host_sent.get(src, 0) + 1
-        self.per_host_bytes[src] = self.per_host_bytes.get(src, 0) + size_bytes
+        self.per_host_sent[src] += 1
+        self.per_host_bytes[src] += size_bytes
 
 
 class Network:
@@ -104,25 +105,35 @@ class Network:
     # ------------------------------------------------------------------
     def _transmit(self, src: Host, dst: str, payload: typing.Any,
                   size_bytes: int, departs_at: float) -> None:
-        if dst not in self.hosts:
+        # One of these per simulated message — the network's hot path.
+        # Stats are inlined (record_send stays as the public API) and
+        # the partition check allocates no frozenset when no partition
+        # is active.
+        target = self.hosts.get(dst)
+        if target is None:
             raise KeyError(f"unknown destination host: {dst}")
-        self.stats.record_send(src.name, size_bytes)
+        src_name = src.name
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        stats.per_host_sent[src_name] += 1
+        stats.per_host_bytes[src_name] += size_bytes
         # Built once: the same instance feeds the taps (documented as
         # non-mutating) and, if the message survives, delivery.
-        message = Message(src=src.name, dst=dst, payload=payload,
-                          size_bytes=size_bytes, sent_at=self.sim.now)
-        for tap in self.taps:
-            tap(message)
-        if self.is_blocked(src.name, dst):
-            self.stats.messages_dropped += 1
+        sim = self.sim
+        message = Message(src_name, dst, payload, size_bytes, sim.now)
+        if self.taps:
+            for tap in self.taps:
+                tap(message)
+        if self._blocked and frozenset((src_name, dst)) in self._blocked:
+            stats.messages_dropped += 1
             return
-        if self.drop_rate > 0 and self.sim.rng.random() < self.drop_rate:
-            self.stats.messages_dropped += 1
+        if self.drop_rate > 0 and sim.rng.random() < self.drop_rate:
+            stats.messages_dropped += 1
             return
-        if src.name == dst:
+        if src_name == dst:
             wire = 0.0  # loopback
         else:
-            wire = self.latency.sample(self.sim.rng, src.name, dst)
-        arrival_delay = max(0.0, departs_at - self.sim.now) + wire
-        target = self.hosts[dst]
-        self.sim.schedule_callback(arrival_delay, target._deliver, message)
+            wire = self.latency.sample(sim.rng, src_name, dst)
+        # departs_at >= now by construction (Host.send clamps to now).
+        sim._schedule_deliver(departs_at - sim.now + wire, target, message)

@@ -22,7 +22,7 @@ from repro.redislike.commands import Command
 from repro.redislike.server import CommandArgs, DurabilityMode
 from repro.rifl import RiflClientTracker
 from repro.rpc import RpcError, RpcTransport
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -45,7 +45,8 @@ class RedisClient:
                  witnesses: typing.Sequence[str] = (),
                  server_master_id: str | None = None,
                  rpc_timeout: float = 5_000.0,
-                 collect_outcomes: bool = True):
+                 collect_outcomes: bool = True,
+                 fast_completion: bool = True):
         RedisClient._next_client_id += 1
         self.host = host
         self.sim = host.sim
@@ -57,6 +58,10 @@ class RedisClient:
         self.transport = RpcTransport(host)
         self.tracker = RiflClientTracker(RedisClient._next_client_id)
         self.collect_outcomes = collect_outcomes
+        #: callback fast path for the §5.4 write fan-out (command +
+        #: witness records via call_cb into one QuorumEvent); False
+        #: restores the spawned-process/AllOf join
+        self.fast_completion = fast_completion
         self.outcomes: list[RedisOutcome] = []
         self.completed = 0
 
@@ -84,16 +89,32 @@ class RedisClient:
                             key_hashes=(key_hash(command.key),),
                             rpc_id=rpc_id,
                             request=RecordedRequest(op=command, rpc_id=rpc_id))
-        command_call = self.host.spawn(self._send_command(args),
-                                       name="redis-cmd")
-        record_calls = [self.host.spawn(self._record_on(w, record),
-                                        name="redis-record")
-                        for w in self.witnesses]
-        results = yield AllOf(self.sim, [command_call] + record_calls)
-        reply = results[command_call]
-        if isinstance(reply, Exception):
-            raise reply
-        accepted = all(results[c] for c in record_calls)
+        if self.fast_completion:
+            join = QuorumEvent(self.sim, 1 + len(self.witnesses))
+            self.transport.call_cb(self.server, "command", args,
+                                   join.child_result, 0,
+                                   timeout=self.rpc_timeout)
+            for index, witness in enumerate(self.witnesses):
+                self.transport.call_cb(witness, "record", record,
+                                       join.child_result, 1 + index,
+                                       timeout=self.rpc_timeout)
+            results = yield join
+            reply = results[0]
+            if isinstance(reply, Exception):
+                raise reply
+            accepted = all(value == RECORD_ACCEPTED
+                           for value in results[1:])
+        else:
+            command_call = self.host.spawn(self._send_command(args),
+                                           name="redis-cmd")
+            record_calls = [self.host.spawn(self._record_on(w, record),
+                                            name="redis-record")
+                            for w in self.witnesses]
+            results = yield AllOf(self.sim, [command_call] + record_calls)
+            reply = results[command_call]
+            if isinstance(reply, Exception):
+                raise reply
+            accepted = all(results[c] for c in record_calls)
         self.tracker.completed(rpc_id)
         if reply.synced:
             return self._finish(reply.result, started, fast=False,

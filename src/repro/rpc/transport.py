@@ -14,8 +14,8 @@ name and may be:
 
 from __future__ import annotations
 
-import inspect
 import typing
+from types import GeneratorType
 
 from repro.net.host import Host
 from repro.rpc.errors import AppError, RemoteError, RpcTimeout
@@ -60,7 +60,13 @@ class RpcResponse:
 
 
 class RpcContext:
-    """Handed to handlers: request metadata + the early-reply hook."""
+    """Handed to handlers: request metadata + the early-reply hook.
+
+    Slotted: one per handled request — hot path.
+    """
+
+    __slots__ = ("_transport", "_request", "_response_size", "replied",
+                 "src")
 
     def __init__(self, transport: "RpcTransport", request: RpcRequest,
                  response_size: int):
@@ -76,10 +82,11 @@ class RpcContext:
         if self.replied:
             raise RuntimeError("reply() called twice")
         self.replied = True
-        self._transport._respond(
-            self._request,
-            RpcResponse(seq=self._request.seq, ok=True, value=value),
-            self._response_size)
+        # Inlined _respond: one call per handled request — hot path.
+        request = self._request
+        self._transport.host.send(request.reply_to,
+                                  RpcResponse(request.seq, True, value),
+                                  self._response_size)
 
     def reply_error(self, code: str, info: typing.Any = None) -> None:
         if self.replied:
@@ -107,8 +114,19 @@ class RpcTransport:
         self.host = host
         self.sim = host.sim
         self._handlers: dict[str, typing.Callable] = {}
-        self._pending: dict[int, Event] = {}
+        #: in-flight calls by sequence number.  A value is either an
+        #: :class:`Event` (``call``) or an ``(on_done, extra_args)``
+        #: tuple (``call_cb``).  Entries are removed on exactly one of:
+        #: response arrival, timeout expiry, or host crash — the
+        #: timeout/response race is safe because whichever fires first
+        #: pops the entry and the loser's ``pop`` finds nothing
+        #: (tests/rpc/test_transport.py pins the map draining to empty).
+        self._pending: dict[int, typing.Any] = {}
         self._next_seq = 0
+        #: instance-bound copies of the class constants: one dict probe
+        #: instead of two on every call/handle (hot path)
+        self._default_size = RpcTransport.DEFAULT_SIZE
+        self._deferred = RpcTransport.DEFERRED
         host.set_message_handler(self._on_message)
         host.on_crash(self._on_crash)
 
@@ -124,29 +142,85 @@ class RpcTransport:
         within ``timeout`` µs, with :class:`AppError` if the handler
         raised one, or with :class:`RemoteError` on unexpected handler
         exceptions.
+
+        This is the generator-friendly wrapper (``yield`` the returned
+        event); hot-path fan-outs use :meth:`call_cb`, which skips the
+        per-call event and its queue dispatch entirely.
         """
         self._next_seq += 1
         seq = self._next_seq
         result = Event(self.sim)
         self._pending[seq] = result
-        request = RpcRequest(seq=seq, reply_to=self.host.name,
-                             method=method, args=args)
-        self.host.send(dst, request, size_bytes=request_size or self.DEFAULT_SIZE)
+        request = RpcRequest(seq, self.host.name, method, args)
+        self.host.send(dst, request, request_size or self._default_size)
         if timeout is not None:
             self.sim.schedule_callback(timeout, self._expire,
                                        seq, dst, method, timeout)
         return result
 
+    def call_cb(self, dst: str, method: str, args: typing.Any,
+                on_done: typing.Callable[..., None],
+                *cb_args: typing.Any,
+                timeout: float | None = None,
+                request_size: int | None = None) -> None:
+        """Send a request; invoke ``on_done(*cb_args, value, error)``.
+
+        The allocation-free completion path: no :class:`Event`, no
+        generator process, no extra queue entry — ``on_done`` runs
+        directly inside the response-delivery (or timeout) dispatch.
+        Exactly one of ``value``/``error`` is meaningful: ``error`` is
+        ``None`` on success, else the :class:`RpcTimeout` /
+        :class:`AppError` / :class:`RemoteError` the ``call`` event
+        would have failed with.  ``cb_args`` ride in the pending-map
+        record, so callers can thread an index (e.g.
+        ``QuorumEvent.child_result``) without building a closure.
+
+        Note the ordering difference from :meth:`call`: completions run
+        at response *delivery* rather than one queue entry later, so
+        within one virtual instant a ``call_cb`` continuation runs
+        before same-instant entries queued behind the delivery.  Code
+        that must reproduce the legacy dispatch sequence (the golden
+        trace) keeps using :meth:`call`.
+        """
+        self._next_seq += 1
+        seq = self._next_seq
+        # No extra args (the common single-call case): store the bare
+        # callable and skip two tuple allocations per call.
+        self._pending[seq] = (on_done, cb_args) if cb_args else on_done
+        request = RpcRequest(seq, self.host.name, method, args)
+        self.host.send(dst, request, request_size or self._default_size)
+        if timeout is not None:
+            self.sim.schedule_callback(timeout, self._expire,
+                                       seq, dst, method, timeout)
+
     def _expire(self, seq: int, dst: str, method: str,
                 timeout: float) -> None:
         pending = self._pending.pop(seq, None)
-        if pending is not None and not pending.triggered:
-            pending.fail(RpcTimeout(dst, method, timeout))
+        if pending is None:
+            return  # response won the race; nothing leaked
+        kind = type(pending)
+        if kind is Event:
+            if not pending.triggered:
+                pending.fail(RpcTimeout(dst, method, timeout))
+        elif kind is tuple:
+            on_done, cb_args = pending
+            on_done(*cb_args, None, RpcTimeout(dst, method, timeout))
+        else:
+            pending(None, RpcTimeout(dst, method, timeout))
 
     def _on_crash(self) -> None:
         # In-flight calls die with the host; waiting processes were
-        # interrupted by Host.crash already, so just drop the futures.
+        # interrupted by Host.crash already, and call_cb continuations
+        # belong to servers/clients on this host whose state is being
+        # dropped — so just forget the lot.  (A late response or timeout
+        # for a pre-crash seq finds nothing to pop; seqs are never
+        # reused because _next_seq survives the crash.)
         self._pending.clear()
+
+    @property
+    def pending_calls(self) -> int:
+        """In-flight call count (leak regression tests read this)."""
+        return len(self._pending)
 
     # ------------------------------------------------------------------
     # server side
@@ -162,22 +236,25 @@ class RpcTransport:
 
     def _respond(self, request: RpcRequest, response: RpcResponse,
                  size: int) -> None:
-        self.host.send(request.reply_to, response, size_bytes=size)
+        self.host.send(request.reply_to, response, size)
 
     # ------------------------------------------------------------------
     # message pump
     # ------------------------------------------------------------------
     def _on_message(self, message: typing.Any) -> None:
+        # Exact type checks: the frame classes are final, and this runs
+        # once per delivered message.
         payload = message.payload
-        if isinstance(payload, RpcRequest):
+        payload_type = type(payload)
+        if payload_type is RpcRequest:
             self._handle_request(payload)
-        elif isinstance(payload, RpcResponse):
+        elif payload_type is RpcResponse:
             self._handle_response(payload)
         # anything else: not RPC traffic; ignore
 
     def _handle_request(self, request: RpcRequest) -> None:
         handler = self._handlers.get(request.method)
-        ctx = RpcContext(self, request, response_size=self.DEFAULT_SIZE)
+        ctx = RpcContext(self, request, self._default_size)
         if handler is None:
             ctx.reply_error("NO_SUCH_METHOD", request.method)
             return
@@ -191,9 +268,9 @@ class RpcTransport:
             if not ctx.replied:
                 ctx.reply_error("REMOTE_ERROR", f"{type(error).__name__}: {error}")
             return
-        if outcome is RpcTransport.DEFERRED:
+        if outcome is self._deferred:
             return
-        if inspect.isgenerator(outcome):
+        if type(outcome) is GeneratorType:
             self._run_handler_process(outcome, ctx, request)
         elif not ctx.replied:
             ctx.reply(outcome)
@@ -222,13 +299,30 @@ class RpcTransport:
 
     def _handle_response(self, response: RpcResponse) -> None:
         result = self._pending.pop(response.seq, None)
-        if result is None or result.triggered:
+        if result is None:
             return  # timed out or duplicate
-        if response.ok:
-            result.succeed(response.value)
-        else:
-            if response.error_code == "REMOTE_ERROR":
-                result.fail(RemoteError(self.host.name, "?", str(response.error_info)))
+        kind = type(result)
+        if kind is Event:
+            if result.triggered:
+                return
+            if response.ok:
+                result.succeed(response.value)
             else:
-                result.fail(AppError(response.error_code or "UNKNOWN",
-                                     response.error_info))
+                result.fail(self._response_error(response))
+        elif kind is tuple:
+            # call_cb with extra args: run the continuation right here.
+            on_done, cb_args = result
+            if response.ok:
+                on_done(*cb_args, response.value, None)
+            else:
+                on_done(*cb_args, None, self._response_error(response))
+        elif response.ok:
+            result(response.value, None)
+        else:
+            result(None, self._response_error(response))
+
+    def _response_error(self, response: RpcResponse) -> Exception:
+        if response.error_code == "REMOTE_ERROR":
+            return RemoteError(self.host.name, "?", str(response.error_info))
+        return AppError(response.error_code or "UNKNOWN",
+                        response.error_info)

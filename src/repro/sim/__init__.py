@@ -7,7 +7,8 @@ It provides:
 - :class:`~repro.sim.simulator.Simulator`: the virtual clock and event
   queue.
 - :class:`~repro.sim.events.Event` and combinators
-  (:class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`).
+  (:class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`,
+  :class:`~repro.sim.events.QuorumEvent`).
 - :class:`~repro.sim.processes.Process`: generator-based cooperative
   processes (``yield sim.timeout(...)`` style).
 - :class:`~repro.sim.resources.Resource`: counted resources used to
@@ -20,7 +21,7 @@ randomness flows through a single seeded :class:`random.Random` owned by
 the simulator, so every experiment is reproducible bit-for-bit.
 """
 
-from repro.sim.events import AllOf, AnyOf, Event, EventFailed
+from repro.sim.events import AllOf, AnyOf, Event, EventFailed, QuorumEvent
 from repro.sim.processes import Interrupt, Process
 from repro.sim.resources import Resource
 from repro.sim.simulator import Simulator
@@ -44,6 +45,7 @@ __all__ = [
     "Interrupt",
     "LogNormal",
     "Process",
+    "QuorumEvent",
     "Resource",
     "Shifted",
     "Simulator",

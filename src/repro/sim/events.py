@@ -11,6 +11,17 @@ Combinators:
   clients that must hear from the master *and* all f witnesses).
 - :class:`AnyOf` triggers when the first child triggers (used for
   timeouts racing a response).
+- :class:`QuorumEvent` is the allocation-free hot-path join: armed with
+  ``need``/``total`` counts, children report through bound-method
+  callbacks, and results land in a pre-sized list — no per-trigger dict
+  and no child-watcher closures.  The CURP 1 + f fan-out makes one of
+  these per update, so its footprint matters (docs/PERFORMANCE.md).
+
+Completion paths: a process *yields* an event (the simulator resumes
+the generator), or a plain callback waits via :meth:`Event.add_callback`
+/ :meth:`Event.when_done` — the direct-callback path skips generator
+resumption entirely and is what ``RpcTransport.call_cb`` and
+:class:`QuorumEvent` build on.
 """
 
 from __future__ import annotations
@@ -98,12 +109,29 @@ class Event:
         else:
             self.callbacks.append(callback)
 
+    def when_done(self, callback: typing.Callable[..., None],
+                  *args: typing.Any) -> None:
+        """Run ``callback(event, *args)`` when the event triggers.
+
+        The direct-callback completion path: like :meth:`add_callback`
+        but carrying arguments in the callback record, so continuation-
+        style waiters (the protocol fast paths) need no closure per
+        wait.  Dispatch ordering is identical to ``add_callback``.
+        """
+        if self.callbacks is None:
+            self.sim.schedule_callback(0.0, callback, self, *args)
+        else:
+            self.callbacks.append((callback, args))
+
     def _dispatch(self) -> None:
         """Invoked by the simulator to run callbacks (exactly once)."""
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None
         for callback in callbacks:
-            callback(self)
+            if type(callback) is tuple:
+                callback[0](self, *callback[1])
+            else:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
@@ -183,3 +211,95 @@ class AnyOf(_Condition):
             self.fail(event._exception)  # type: ignore[arg-type]
             return
         self.succeed(self._values())
+
+
+class QuorumEvent(Event):
+    """Allocation-free join of ``total`` children, done after ``need``.
+
+    The hot-path replacement for :class:`AllOf` on the CURP operation
+    path (one join per update: master reply + f witness records).
+    Differences that make it cheap:
+
+    - results land in a **pre-sized list** (``results[i]`` is child
+      ``i``'s value, or its exception instance on failure) — no
+      ``{event: value}`` dict per trigger;
+    - children report through **bound-method callbacks** —
+      :meth:`child_result` for ``RpcTransport.call_cb`` completions
+      (no child :class:`Event` at all), :meth:`watch` for existing
+      events — no per-child watcher closure;
+    - succeeds with the results list once ``need`` children reported
+      (default: all of them); later reports are ignored.
+
+    ``fail_fast=True`` reproduces :class:`AllOf`'s failure contract:
+    the first child *exception* fails the join immediately (remaining
+    children keep running and are ignored).  With the default
+    ``fail_fast=False`` exceptions are stored in ``results`` and the
+    join always completes — protocol code inspects per-child outcomes,
+    which is exactly what the CURP client needs (a witness timeout is
+    data, not an error).
+    """
+
+    __slots__ = ("results", "need", "_reported", "_fail_fast", "_children")
+
+    def __init__(self, sim: "Simulator", total: int,
+                 need: int | None = None, fail_fast: bool = False):
+        super().__init__(sim)
+        if total < 0:
+            raise ValueError(f"total must be >= 0: {total}")
+        self.need = total if need is None else need
+        if not 0 <= self.need <= total:
+            raise ValueError(f"need {self.need} outside [0, {total}]")
+        self.results: list[typing.Any] = [None] * total
+        self._reported = 0
+        self._fail_fast = fail_fast
+        #: children registered via watch(), aligned with result indexes
+        self._children: list[Event] | None = None
+        if self.need == 0:
+            self.succeed(self.results)
+
+    def child_result(self, index: int, value: typing.Any,
+                     error: BaseException | None = None) -> None:
+        """Bound-method reporter: child ``index`` finished.
+
+        Pass this (plus the index) straight to ``call_cb`` — the RPC
+        layer invokes it with ``(value, error)`` on completion.
+        """
+        if self._triggered:
+            return  # already done (need < total) or failed fast
+        if error is not None:
+            if self._fail_fast:
+                self.fail(error)
+                return
+            self.results[index] = error
+        else:
+            self.results[index] = value
+        self._reported += 1
+        if self._reported >= self.need:
+            self.succeed(self.results)
+
+    def watch(self, event: Event) -> Event:
+        """Observe a child event; its outcome lands at the next index.
+
+        Generator-path bridge: lets existing event-producing code (test
+        shims, cold paths) join through a QuorumEvent with dispatch
+        ordering identical to ``AllOf`` over the same children.
+        """
+        if self._children is None:
+            self._children = []
+        index = len(self._children)
+        if index >= len(self.results):
+            raise ValueError("watch() called more times than total")
+        self._children.append(event)
+        if event.triggered:
+            # Deliver through the queue — the same deterministic
+            # ordering AllOf gives already-triggered children.
+            self.sim.schedule_callback(0.0, self._on_child, event, index)
+        else:
+            event.when_done(self._on_child, index)
+        return event
+
+    def _on_child(self, event: Event, index: int) -> None:
+        if event.ok:
+            self.child_result(index, event._value)
+        else:
+            self.child_result(index, None, event.exception)

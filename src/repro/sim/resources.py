@@ -46,6 +46,15 @@ class Resource:
             self._waiters.append(grant)
         return grant
 
+    def try_acquire(self) -> bool:
+        """Take a unit immediately if one is free (no event, no queue
+        entry) — the callback fast path's common case.  Pair with
+        :meth:`release`; fall back to :meth:`request` on False."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
     def release(self) -> None:
         """Return a unit; hands it to the oldest waiter if any."""
         if self.in_use <= 0:

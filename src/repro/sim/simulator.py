@@ -31,15 +31,16 @@ import random
 import typing
 from collections import deque
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, QuorumEvent, Timeout
 from repro.sim.processes import Process, ProcessGenerator
 
 #: queue-record kinds: payload slots (a, b) per kind are
 #: CALLBACK → (fn, args tuple), TIMEOUT → (event, value),
-#: DISPATCH → (event, None)
+#: DISPATCH → (event, None), DELIVER → (host, message)
 _CALLBACK = 0
 _TIMEOUT = 1
 _DISPATCH = 2
+_DELIVER = 3
 
 _INFINITY = float("inf")
 
@@ -82,6 +83,11 @@ class Simulator:
     def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def quorum(self, total: int, need: int | None = None,
+               fail_fast: bool = False) -> QuorumEvent:
+        """An allocation-free N-way join (the hot-path AllOf)."""
+        return QuorumEvent(self, total, need=need, fail_fast=fail_fast)
+
     # ------------------------------------------------------------------
     # scheduling internals
     # ------------------------------------------------------------------
@@ -118,6 +124,19 @@ class Simulator:
         self._sequence += 1
         self._now_queue.append((self._sequence, _DISPATCH, event, None))
 
+    def _schedule_deliver(self, delay: float, host: typing.Any,
+                          message: typing.Any) -> None:
+        """Message-delivery record: ``host._deliver(message)`` after
+        ``delay``.  A dedicated kind so the network's per-message
+        schedule allocates one record tuple and nothing else."""
+        self._sequence += 1
+        if delay == 0.0:
+            self._now_queue.append((self._sequence, _DELIVER, host, message))
+        else:
+            heapq.heappush(self._heap,
+                           (self.now + delay, self._sequence, _DELIVER,
+                            host, message))
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -125,6 +144,8 @@ class Simulator:
         self._processed += 1
         if kind == _CALLBACK:
             a(*b)
+        elif kind == _DELIVER:
+            a._deliver(b)
         elif kind == _TIMEOUT:
             a._triggered = True
             a._value = b
@@ -222,6 +243,8 @@ class Simulator:
                 steps += 1
                 if kind == _CALLBACK:
                     a(*b)
+                elif kind == _DELIVER:
+                    a._deliver(b)
                 elif kind == _TIMEOUT:
                     a._triggered = True
                     a._value = b

@@ -85,11 +85,19 @@ def test_curp_fast_path_one_rtt():
 def test_conflicting_update_takes_commit_path():
     sim, network, nodes = build_group()
     wait_for_leader(sim, nodes)
-    client = add_client(sim, network, nodes)
-    sim.run(sim.process(client.update(Write("k", 1))))
-    # Immediately conflicting write: leader must wait for commit.
-    result, fast = sim.run(sim.process(client.update(Write("k", 2))))
-    assert fast is False
+    # Two *concurrent* writes to one key: the later one to reach the
+    # leader must find the earlier still uncommitted and wait for its
+    # quorum commit.  (Back-to-back sequential writes no longer
+    # conflict — the callback completion path processes follower acks
+    # at delivery, so the first write commits before a second
+    # closed-loop write can arrive.)
+    client1 = add_client(sim, network, nodes)
+    client2 = add_client(sim, network, nodes)
+    first = sim.process(client1.update(Write("k", 1)))
+    second = sim.process(client2.update(Write("k", 2)))
+    _result1, fast1 = sim.run(first)
+    _result2, fast2 = sim.run(second)
+    assert not (fast1 and fast2)  # at most one can win the 1-RTT path
     leader = leader_of(nodes)
     assert leader.stats["conflict_commits"] >= 1
 

@@ -169,3 +169,143 @@ def test_reply_twice_is_error(sim: Simulator, network: Network):
         return None
     server.register("m", handler)
     assert sim.run(client.call("server", "m")) == 1
+
+
+# ----------------------------------------------------------------------
+# call_cb — the callback completion fast path
+# ----------------------------------------------------------------------
+def test_call_cb_success(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    server.register("echo", lambda args, ctx: f"echo:{args}")
+    seen = []
+    client.call_cb("server", "echo", "hi",
+                   lambda value, error: seen.append((value, error)))
+    sim.run()
+    assert seen == [("echo:hi", None)]
+    assert sim.now == 4.0  # same two 2 µs hops as call()
+
+
+def test_call_cb_threads_extra_args(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    server.register("echo", lambda args, ctx: args)
+    seen = []
+    def on_done(index, tag, value, error):
+        seen.append((index, tag, value, error))
+    client.call_cb("server", "echo", "a", on_done, 0, "x")
+    client.call_cb("server", "echo", "b", on_done, 1, "y")
+    sim.run()
+    assert seen == [(0, "x", "a", None), (1, "y", "b", None)]
+
+
+def test_call_cb_app_error(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        raise AppError("NOT_OWNER", {"shard": 2})
+    server.register("w", handler)
+    seen = []
+    client.call_cb("server", "w", None,
+                   lambda value, error: seen.append((value, error)))
+    sim.run()
+    (value, error), = seen
+    assert value is None
+    assert isinstance(error, AppError) and error.code == "NOT_OWNER"
+
+
+def test_call_cb_remote_error(sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        raise KeyError("boom")
+    server.register("bad", handler)
+    seen = []
+    client.call_cb("server", "bad", None,
+                   lambda value, error: seen.append(error))
+    sim.run()
+    assert isinstance(seen[0], RemoteError)
+
+
+def test_call_cb_timeout(sim: Simulator, network: Network):
+    client, _server = make_pair(network)
+    network.add_host("silent")  # no transport: requests vanish
+    seen = []
+    client.call_cb("silent", "m", None,
+                   lambda value, error: seen.append(error), timeout=50.0)
+    sim.run()
+    assert isinstance(seen[0], RpcTimeout)
+    assert sim.now == 50.0
+    assert client.pending_calls == 0
+
+
+def test_call_cb_timeout_response_tie_fires_once(sim: Simulator,
+                                                 network: Network):
+    """Response and timeout land at the same instant: the expiry entry
+    (scheduled at call time, so with the smaller sequence number) wins
+    the tie — matching call() — and the response finds nothing to pop.
+    Exactly one completion, no leak."""
+    client, server = make_pair(network)
+    server.register("echo", lambda args, ctx: args)
+    seen = []
+    client.call_cb("server", "echo", "v",
+                   lambda value, error: seen.append((value, error)),
+                   timeout=4.0)  # exactly the round-trip time
+    sim.run()
+    assert len(seen) == 1
+    assert isinstance(seen[0][1], RpcTimeout)
+    assert client.pending_calls == 0
+
+
+def test_call_cb_late_response_after_timeout_ignored(
+        sim: Simulator, network: Network):
+    client, server = make_pair(network)
+    def handler(args, ctx):
+        def work():
+            yield sim.timeout(100.0)
+            return "late"
+        return work()
+    server.register("slow", handler)
+    seen = []
+    client.call_cb("server", "slow", None,
+                   lambda value, error: seen.append((value, error)),
+                   timeout=10.0)
+    sim.run()
+    assert len(seen) == 1
+    assert isinstance(seen[0][1], RpcTimeout)
+    assert client.pending_calls == 0
+
+
+def test_pending_map_empty_after_crash_and_timeout_chaos(
+        sim: Simulator, network: Network):
+    """Leak regression: after a run heavy with timeouts, late replies
+    and a server crash/restart, no pending-call entries may survive on
+    either side (timeout races pop exactly one entry; _on_crash drops
+    the rest)."""
+    client, server = make_pair(network)
+    def slow(args, ctx):
+        def work():
+            yield sim.timeout(float(args))
+            return args
+        return work()
+    server.register("slow", slow)
+    server.register("echo", lambda args, ctx: args)
+    outcomes = []
+    on_done = lambda value, error: outcomes.append((value, error))  # noqa: E731
+    # Mix of: completing calls, timeouts with late replies, and calls
+    # in flight when the server crashes — via both call() and call_cb().
+    events = []
+    for delay in (1.0, 30.0, 80.0, 200.0):
+        client.call_cb("server", "slow", delay, on_done, timeout=60.0)
+        events.append(client.call("server", "slow", delay, timeout=60.0))
+    client.call_cb("server", "echo", "x", on_done, timeout=60.0)
+    sim.schedule_callback(90.0, server.host.crash)
+    sim.schedule_callback(150.0, server.host.restart)
+    # Calls issued against the crashed server: time out cleanly.
+    sim.schedule_callback(100.0, lambda: client.call_cb(
+        "server", "echo", "y", on_done, timeout=20.0))
+    sim.run()
+    assert client.pending_calls == 0
+    assert server.pending_calls == 0
+    # Every call_cb completed exactly once (5 before + 1 after crash).
+    assert len(outcomes) == 6
+    # The crash dropped nothing on the floor for call() either: each
+    # event either succeeded or failed with a timeout.
+    for event in events:
+        assert event.triggered

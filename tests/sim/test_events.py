@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, EventFailed, Simulator
+from repro.sim import AllOf, AnyOf, EventFailed, QuorumEvent, Simulator
 
 
 def test_event_starts_pending(sim: Simulator):
@@ -127,3 +127,118 @@ def test_any_of_with_already_triggered_child(sim: Simulator):
 
 def test_event_failed_importable():
     assert issubclass(EventFailed, Exception)
+
+
+# ----------------------------------------------------------------------
+# QuorumEvent — the hot-path join (and Event.when_done beneath it)
+# ----------------------------------------------------------------------
+def test_when_done_carries_args(sim: Simulator):
+    seen = []
+    event = sim.timeout(3.0, value="v")
+    event.when_done(lambda e, tag, n: seen.append((e.value, tag, n)),
+                    "x", 7)
+    sim.run()
+    assert seen == [("v", "x", 7)]
+
+
+def test_when_done_after_dispatch_delivers_at_same_time(sim: Simulator):
+    seen = []
+    event = sim.timeout(3.0)
+    event.add_callback(
+        lambda e: e.when_done(lambda ev, tag: seen.append(tag), "late"))
+    sim.run()
+    assert seen == ["late"]
+    assert sim.now == 3.0
+
+
+def test_quorum_child_result_positional(sim: Simulator):
+    quorum = QuorumEvent(sim, 3)
+    quorum.child_result(1, "b")
+    quorum.child_result(0, "a")
+    assert not quorum.triggered
+    quorum.child_result(2, "c")
+    assert quorum.triggered
+    assert quorum.value == ["a", "b", "c"]
+
+
+def test_quorum_zero_total_succeeds_immediately(sim: Simulator):
+    quorum = QuorumEvent(sim, 0)
+    assert quorum.triggered
+    assert quorum.value == []
+
+
+def test_quorum_need_less_than_total(sim: Simulator):
+    quorum = QuorumEvent(sim, 3, need=2)
+    quorum.child_result(0, "a")
+    quorum.child_result(2, "c")
+    assert quorum.triggered
+    assert quorum.value == ["a", None, "c"]
+    # Late reporters are ignored: the results list is frozen.
+    quorum.child_result(1, "b")
+    assert quorum.value == ["a", None, "c"]
+
+
+def test_quorum_error_lands_in_results(sim: Simulator):
+    quorum = QuorumEvent(sim, 2)
+    boom = ValueError("boom")
+    quorum.child_result(0, None, boom)
+    quorum.child_result(1, "ok")
+    assert quorum.ok
+    assert quorum.value[0] is boom
+    assert quorum.value[1] == "ok"
+
+
+def test_quorum_fail_fast_mirrors_allof(sim: Simulator):
+    quorum = QuorumEvent(sim, 2, fail_fast=True)
+    quorum.child_result(0, None, ValueError("dead"))
+    assert quorum.triggered and not quorum.ok
+    with pytest.raises(ValueError):
+        _ = quorum.value
+    # Remaining children are ignored, as with AllOf's fail-fast.
+    quorum.child_result(1, "late")
+
+
+def test_quorum_watch_mode_matches_allof_values(sim: Simulator):
+    a = sim.timeout(2.0, value="a")
+    b = sim.timeout(5.0, value="b")
+    quorum = QuorumEvent(sim, 2)
+    quorum.watch(a)
+    quorum.watch(b)
+    values = sim.run(quorum)
+    assert values == ["a", "b"]
+    assert sim.now == 5.0
+
+
+def test_quorum_watch_stores_child_exception(sim: Simulator):
+    a = sim.event()
+    b = sim.timeout(4.0, value="b")
+    quorum = QuorumEvent(sim, 2)
+    quorum.watch(a)
+    quorum.watch(b)
+    sim.schedule_callback(1.0, lambda: a.fail(ValueError("dead")))
+    values = sim.run(quorum)
+    assert isinstance(values[0], ValueError)
+    assert values[1] == "b"
+
+
+def test_quorum_watch_already_triggered_child(sim: Simulator):
+    a = sim.event()
+    a.succeed("pre")
+    quorum = QuorumEvent(sim, 2)
+    quorum.watch(a)
+    quorum.watch(sim.timeout(3.0, value="t"))
+    assert sim.run(quorum) == ["pre", "t"]
+
+
+def test_quorum_watch_beyond_total_rejected(sim: Simulator):
+    quorum = QuorumEvent(sim, 1)
+    quorum.watch(sim.event())
+    with pytest.raises(ValueError):
+        quorum.watch(sim.event())
+
+
+def test_quorum_validates_counts(sim: Simulator):
+    with pytest.raises(ValueError):
+        QuorumEvent(sim, -1)
+    with pytest.raises(ValueError):
+        QuorumEvent(sim, 2, need=3)

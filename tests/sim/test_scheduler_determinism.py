@@ -16,7 +16,10 @@ scheduler's single global ``(time, seq)`` heap.  Two layers of defence:
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.baselines import curp_config
+from repro.core.client import CurpClient
 from repro.harness.builder import build_cluster
 from repro.sim import Simulator
 from repro.workload import run_closed_loop
@@ -175,15 +178,19 @@ GOLDEN = {
 }
 
 
-def test_golden_trace_seeded_ycsb_unchanged():
-    cluster = build_cluster(curp_config(2), seed=1234)
+def _golden_experiment(fast_completion: bool = False) -> dict:
+    """The seeded YCSB experiment behind every golden pin."""
+    config = curp_config(2)
+    if fast_completion:
+        config = dataclasses.replace(config, fast_completion=True)
+    cluster = build_cluster(config, seed=1234)
     workload = YcsbWorkload(name="golden", read_fraction=0.5,
                             item_count=1000, value_size=16,
                             distribution="zipfian")
     result = run_closed_loop(cluster, workload, n_clients=4,
                              duration=3_000.0, warmup=500.0)
     cluster.settle(1_000.0)
-    observed = {
+    return {
         "now": cluster.sim.now,
         "processed_events": cluster.sim.processed_events,
         "operations": result["operations"],
@@ -193,4 +200,98 @@ def test_golden_trace_seeded_ycsb_unchanged():
         "per_host_sent": dict(sorted(
             cluster.network.stats.per_host_sent.items())),
     }
-    assert observed == GOLDEN
+
+
+def test_golden_trace_seeded_ycsb_unchanged():
+    assert _golden_experiment() == GOLDEN
+
+
+# ----------------------------------------------------------------------
+# quorum-ordering equivalence
+# ----------------------------------------------------------------------
+def test_quorum_join_equivalent_to_allof():
+    """The same seeded experiment joined through AllOf and through a
+    watch-mode QuorumEvent must be indistinguishable — identical
+    ``(now, processed_events, per-host traffic)``.  QuorumEvent adds a
+    callback per child and queues one dispatch on completion, exactly
+    like AllOf; only the per-trigger dict and watcher closures go away.
+    """
+    baseline = _golden_experiment()
+    CurpClient.join_with_quorum = True
+    try:
+        quorum = _golden_experiment()
+    finally:
+        CurpClient.join_with_quorum = False
+    assert quorum == baseline
+    assert baseline == GOLDEN  # and both match the PR 1 pin
+
+
+# ----------------------------------------------------------------------
+# golden trace, callback fast path
+# ----------------------------------------------------------------------
+#: end state of the same experiment under config.fast_completion=True
+#: (call_cb + QuorumEvent + the master's continuation-passing update
+#: path).  Virtual end time matches the legacy pin; processed_events is
+#: ~50% lower because the fast path needs no spawn/wrapper/event-
+#: dispatch entries (and no worker-grant event when a worker is free);
+#: traffic differs within noise because completions run earlier
+#: *within* an instant, shifting the closed-loop op mix.
+GOLDEN_FAST = {
+    "now": 4532.0,
+    "processed_events": 24294,
+    "operations": 2702,
+    "messages_sent": 14676,
+    "bytes_sent": 2358920,
+    "messages_dropped": 0,
+    "per_host_sent": {
+        "client1": 1621,
+        "client2": 1604,
+        "client3": 1566,
+        "client4": 1603,
+        "coordinator": 8,
+        "m0-backup0": 236,
+        "m0-backup1": 236,
+        "m0-host": 4098,
+        "m0-witness0": 1852,
+        "m0-witness1": 1852,
+    },
+}
+
+
+def test_golden_trace_fast_completion_pinned():
+    observed = _golden_experiment(fast_completion=True)
+    assert observed == GOLDEN_FAST
+
+
+def test_fast_completion_reaches_same_virtual_time():
+    """The completion model must not change physics: both paths end the
+    seeded experiment at the same virtual instant with no drops, and
+    the fast path dispatches strictly fewer queue entries per op."""
+    assert GOLDEN_FAST["now"] == GOLDEN["now"]
+    assert GOLDEN_FAST["messages_dropped"] == GOLDEN["messages_dropped"]
+    assert (GOLDEN_FAST["processed_events"] / GOLDEN_FAST["operations"]
+            < 0.7 * GOLDEN["processed_events"] / GOLDEN["operations"])
+
+
+def test_single_client_trace_identical_across_completion_modes():
+    """With one closed-loop client there is no within-instant contention
+    to reorder, so the two completion modes must produce *identical*
+    operations, virtual time and per-host message counts — only
+    processed_events may differ."""
+    def run(fast: bool):
+        config = dataclasses.replace(curp_config(2), fast_completion=fast)
+        cluster = build_cluster(config, seed=77)
+        workload = YcsbWorkload(name="single", read_fraction=0.5,
+                                item_count=100, value_size=16,
+                                distribution="uniform")
+        result = run_closed_loop(cluster, workload, n_clients=1,
+                                 duration=2_000.0, warmup=0.0)
+        cluster.settle(500.0)
+        return (
+            cluster.sim.now,
+            result["operations"],
+            cluster.network.stats.messages_sent,
+            cluster.network.stats.bytes_sent,
+            dict(sorted(cluster.network.stats.per_host_sent.items())),
+        )
+    assert run(False) == run(True)

@@ -13,14 +13,17 @@ bench_compare = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_compare)
 
 
-def snapshot(dispatch=6_000_000, records=800_000, rpc=100_000,
-             speedup=3.8) -> dict:
+def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
+             fig6=170_000, speedup=3.8) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
                        "schedule_dispatch_events_per_sec": dispatch // 2},
         "witness": {"records_per_sec": records},
-        "rpc": {"roundtrips_per_sec": rpc},
+        "rpc": {"roundtrips_per_sec": rpc,
+                "roundtrips_per_sec_yield": rpc * 3 // 4},
+        "fig6_smoke": {"events_per_sec": fig6,
+                       "ops_per_sec": 5_500},
     }
 
 
@@ -44,10 +47,27 @@ def test_gated_regression_fails():
     assert gated["dispatch events/s"]["delta"] < -0.25
 
 
-def test_info_metric_regression_does_not_fail():
-    """rpc roundtrips/s is informational: a huge drop must not gate."""
+def test_rpc_roundtrips_regression_gates():
+    """ISSUE 3 promoted rpc roundtrips/s from info to gated."""
     _rows, failures = bench_compare.compare(
         snapshot(), snapshot(rpc=10_000), threshold=0.25)
+    assert len(failures) == 1
+    assert "rpc roundtrips/s" in failures[0]
+
+
+def test_fig6_smoke_regression_gates():
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(fig6=100_000), threshold=0.25)
+    assert len(failures) == 1
+    assert "fig6 smoke events/s" in failures[0]
+
+
+def test_info_metric_regression_does_not_fail():
+    """The yield-path roundtrip rate stays informational."""
+    candidate = snapshot()
+    candidate["rpc"]["roundtrips_per_sec_yield"] = 10_000
+    _rows, failures = bench_compare.compare(
+        snapshot(), candidate, threshold=0.25)
     assert failures == []
 
 
@@ -59,24 +79,25 @@ def test_improvement_passes():
 
 
 def test_missing_info_metric_is_na_not_failure():
-    """Old baselines without the scaleout series must still compare."""
-    base = snapshot()
-    del base["rpc"]
-    rows, failures = bench_compare.compare(base, snapshot(), threshold=0.25)
+    """Old baselines without the op-path series must still compare."""
+    rows, failures = bench_compare.compare(snapshot(), snapshot(),
+                                           threshold=0.25)
     assert failures == []
     info = {row["name"]: row for row in rows if not row["gated"]}
-    assert info["rpc roundtrips/s"]["status"] == "n/a"
+    assert info["curp op path f=3 ops/s"]["status"] == "n/a"
 
 
 def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 3  # every gated metric uncomparable
+    assert len(failures) == 5  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
     assert gated["dispatch speedup vs legacy"]["status"] == "MISSING"
+    assert gated["rpc roundtrips/s"]["status"] == "MISSING"
+    assert gated["fig6 smoke events/s"]["status"] == "MISSING"
 
 
 def test_machine_independent_ratio_gates_too():
@@ -92,7 +113,8 @@ def test_markdown_table_marks_gated_metrics():
     rows, _ = bench_compare.compare(snapshot(), snapshot(), threshold=0.25)
     table = bench_compare.format_markdown(rows, threshold=0.25)
     assert "| **dispatch events/s** |" in table
-    assert "| rpc roundtrips/s |" in table
+    assert "| **rpc roundtrips/s** |" in table
+    assert "| rpc roundtrips/s (yield) |" in table
 
 
 def test_main_exit_codes_and_summary(tmp_path):

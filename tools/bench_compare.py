@@ -8,8 +8,9 @@ Usage (from the repository root)::
         [--summary $GITHUB_STEP_SUMMARY]
 
 The CI perf gate: fails (exit 1) when a **gated** metric — event-loop
-dispatch events/s or witness-cache records/s — regresses by more than
-``threshold`` (default 25%, tolerant of shared-runner noise).  Every
+dispatch events/s, witness-cache records/s, RPC round-trips/s, or the
+Figure 6 smoke events/s — regresses by more than ``threshold``
+(default 25%, tolerant of shared-runner noise).  Every
 other shared metric is reported informationally.  The delta table is
 printed to stdout and, when ``--summary`` (or the
 ``GITHUB_STEP_SUMMARY`` environment variable) names a file, appended
@@ -35,14 +36,21 @@ GATED_METRICS = (
     # measured in the same process on the same host, so a baseline from
     # different hardware cannot mask (or fake) a dispatch regression
     ("dispatch speedup vs legacy", ("event_loop", "speedup_vs_legacy")),
+    # ISSUE 3: the protocol hot path — the call_cb round-trip rate and
+    # the Figure 6 smoke run — gate alongside the scheduler/witness
+    # microbenches
+    ("rpc roundtrips/s", ("rpc", "roundtrips_per_sec")),
+    ("fig6 smoke events/s", ("fig6_smoke", "events_per_sec")),
 )
 
 #: reported but never failing (wall-clock sensitive or informational)
 INFO_METRICS = (
     ("schedule+dispatch events/s",
      ("event_loop", "schedule_dispatch_events_per_sec")),
-    ("rpc roundtrips/s", ("rpc", "roundtrips_per_sec")),
-    ("fig6 smoke events/s", ("fig6_smoke", "events_per_sec")),
+    ("rpc roundtrips/s (yield)", ("rpc", "roundtrips_per_sec_yield")),
+    ("fig6 smoke ops/s", ("fig6_smoke", "ops_per_sec")),
+    ("curp op path f=3 ops/s", ("curp_op_path", "f3", "ops_per_sec")),
+    ("curp op path f=3 speedup", ("curp_op_path", "f3", "speedup")),
     ("scaleout 4-shard speedup", ("scaleout", "speedup_4_shards_vs_1")),
     ("scaleout gc rpc reduction", ("scaleout", "gc_rpc_reduction")),
 )
@@ -105,8 +113,9 @@ def format_markdown(rows: list[dict], threshold: float) -> str:
     lines = [
         "### Perf gate: BENCH_core.json vs baseline",
         "",
-        f"Gate: dispatch events/s and witness records/s must not drop "
-        f"more than {threshold:.0%}.",
+        f"Gate: dispatch events/s, witness records/s, rpc roundtrips/s "
+        f"and fig6 smoke events/s must not drop more than "
+        f"{threshold:.0%}.",
         "",
         "| metric | baseline | candidate | delta | status |",
         "| --- | ---: | ---: | ---: | --- |",

@@ -14,8 +14,12 @@ Measures, in wall-clock terms:
 - RPC round-trips/s through the full simulated stack;
 - witness-cache records/s at the paper's geometry (§5.2 comparable:
   ~1.27 M records/s on the real witness);
-- a Figure 6-shaped smoke run (one CURP f=3 closed loop) so future PRs
-  can see end-to-end wall-clock drift, not just microbenches;
+- a Figure 6-shaped smoke run (one CURP f=3 closed loop, callback fast
+  path) so future PRs can see end-to-end wall-clock drift, not just
+  microbenches;
+- a ``curp_op_path`` series (ISSUE 3): committed-ops/s through the
+  full client→master→witness→sync lifecycle at f ∈ {1, 3}, fast vs
+  legacy completion, from ``benchmarks/bench_curp_op_path.py``;
 - a ``scaleout`` series: aggregate virtual-time throughput at 1/2/4
   shards plus the batched-gc RPC reduction (ISSUE 2 acceptance
   numbers), from ``benchmarks/bench_scaleout_shards.py``.
@@ -41,6 +45,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from benchmarks.hotpath_workloads import (  # noqa: E402
     drain_events,
     rpc_roundtrips,
+    rpc_roundtrips_yield,
     schedule_and_drain,
     witness_records,
 )
@@ -50,9 +55,17 @@ from repro.sim.simulator import Simulator  # noqa: E402
 
 
 def _best_rate(fn, repeats: int = 3) -> float:
-    """Best-of-N rate (units/s); best-of filters scheduler jitter."""
+    """Best-of-N rate (units/s); best-of filters scheduler jitter.
+
+    A full collection runs before each repeat so garbage left by
+    earlier benches (the dispatch benches churn millions of records)
+    doesn't tax later ones — measured effect is ~25% on the RPC bench.
+    """
+    import gc
+
     best = 0.0
     for _ in range(repeats):
+        gc.collect()
         units, elapsed = fn()
         best = max(best, units / elapsed)
     return best
@@ -88,23 +101,50 @@ def _scaleout() -> dict:
 
 
 def _fig6_smoke() -> dict:
+    """One Figure 6-shaped closed loop in the hot-path configuration
+    (``fast_completion=True`` — the callback completion model).
+
+    Note on reading ``events_per_sec`` across the ISSUE 3 overhaul: the
+    fast path removes ~40% of the queue entries an operation used to
+    need, so wall-clock halving shows up in ``seconds`` and
+    ``ops_per_sec`` while events/s moves much less.  The metric is kept
+    (and CI-gated) because it still catches per-entry cost regressions.
+    """
+    import dataclasses
+
     from repro.baselines import curp_config
     from repro.harness.builder import build_cluster
     from repro.harness.profiles import RAMCLOUD_PROFILE
     from repro.workload import run_closed_loop
     from repro.workload.ycsb import YCSB_WRITE_ONLY
 
+    import gc
+
+    config = dataclasses.replace(curp_config(3), fast_completion=True)
+    gc.collect()
     started = time.perf_counter()
-    cluster = build_cluster(curp_config(3), profile=RAMCLOUD_PROFILE, seed=2)
+    cluster = build_cluster(config, profile=RAMCLOUD_PROFILE, seed=2)
     result = run_closed_loop(cluster, YCSB_WRITE_ONLY, n_clients=16,
                              duration=2_500.0, warmup=800.0)
     elapsed = time.perf_counter() - started
     return {
         "seconds": round(elapsed, 3),
         "operations": result["operations"],
+        "ops_per_sec": round(result["operations"] / elapsed),
         "virtual_events": cluster.sim.processed_events,
         "events_per_sec": round(cluster.sim.processed_events / elapsed),
     }
+
+
+def _curp_op_path(scale: float) -> dict:
+    """Committed-ops/s through the full operation lifecycle (ISSUE 3
+    acceptance series), from benchmarks/bench_curp_op_path.py."""
+    from benchmarks.bench_curp_op_path import op_path_series
+
+    started = time.perf_counter()
+    series = op_path_series(scale=scale)
+    series["seconds"] = round(time.perf_counter() - started, 3)
+    return series
 
 
 def snapshot(scale: float = 1.0) -> dict:
@@ -137,6 +177,8 @@ def snapshot(scale: float = 1.0) -> dict:
         "rpc": {
             "roundtrips_per_sec": round(
                 _best_rate(lambda: rpc_roundtrips(n_calls=n_calls))),
+            "roundtrips_per_sec_yield": round(
+                _best_rate(lambda: rpc_roundtrips_yield(n_calls=n_calls))),
         },
         "witness": {
             "records_per_sec": round(
@@ -144,6 +186,7 @@ def snapshot(scale: float = 1.0) -> dict:
             "paper_target_records_per_sec": 1_270_000,
         },
         "fig6_smoke": _fig6_smoke(),
+        "curp_op_path": _curp_op_path(scale),
         "scaleout": _scaleout(),
     }
 
