@@ -33,15 +33,24 @@ OP_PATH_WORKLOAD = YcsbWorkload(name="op-path-writes", read_fraction=0.0,
 
 
 def op_path_rate(f: int, fast: bool, duration: float = 4_000.0,
-                 n_clients: int = 8, seed: int = 5) -> tuple[int, float]:
-    """(committed ops, wall seconds) for one closed-loop run."""
+                 n_clients: int = 8, seed: int = 5
+                 ) -> tuple[int, float, float]:
+    """(committed ops, wall seconds, messages/update) for one run.
+
+    The third element is the closed-loop per-message floor
+    (``TrafficStats.messages_per_update``): ~2 × (1 + f) wire
+    transmissions per committed update, plus amortized sync/gc — the
+    number frame coalescing attacks (``bench_frame_coalescing.py``)."""
     config = dataclasses.replace(curp_config(f), fast_completion=fast)
     started = time.perf_counter()
     cluster = build_cluster(config, seed=seed)
     result = run_closed_loop(cluster, OP_PATH_WORKLOAD,
                              n_clients=n_clients, duration=duration,
                              warmup=500.0)
-    return result["operations"], time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    updates = sum(client.completed_updates for client in cluster.clients)
+    return (result["operations"], elapsed,
+            cluster.network.stats.messages_per_update(updates))
 
 
 def op_path_series_one(f: int, scale: float = 1.0,
@@ -49,16 +58,20 @@ def op_path_series_one(f: int, scale: float = 1.0,
     """Best-of-N ops/s for one f, both completion modes, plus speedup."""
     duration = 4_000.0 * scale
     rates = {}
+    messages_per_update = 0.0
     for label, fast in (("legacy", False), ("fast", True)):
         best = 0.0
         for _ in range(repeats):
-            ops, elapsed = op_path_rate(f, fast, duration=duration)
+            ops, elapsed, mpu = op_path_rate(f, fast, duration=duration)
             best = max(best, ops / elapsed)
+            if fast:
+                messages_per_update = mpu  # deterministic per seed
         rates[label] = best
     return {
         "ops_per_sec": round(rates["fast"]),
         "ops_per_sec_legacy": round(rates["legacy"]),
         "speedup": round(rates["fast"] / rates["legacy"], 2),
+        "messages_per_update": round(messages_per_update, 2),
     }
 
 
@@ -76,7 +89,8 @@ def test_op_path_f1(benchmark, scale):
                                              None))
     print(f"\nCURP op path f=1: {series['ops_per_sec']:,} ops/s fast, "
           f"{series['ops_per_sec_legacy']:,} legacy "
-          f"({series['speedup']}x)")
+          f"({series['speedup']}x); "
+          f"{series['messages_per_update']} messages/update")
     benchmark.extra_info.update(series)
     assert series["speedup"] > 1.0  # the fast path must never lose
 
@@ -86,6 +100,9 @@ def test_op_path_f3(benchmark, scale):
                                              None))
     print(f"\nCURP op path f=3: {series['ops_per_sec']:,} ops/s fast, "
           f"{series['ops_per_sec_legacy']:,} legacy "
-          f"({series['speedup']}x)")
+          f"({series['speedup']}x); "
+          f"{series['messages_per_update']} messages/update")
     benchmark.extra_info.update(series)
     assert series["speedup"] > 1.0
+    # The closed-loop floor the coalescing bench cuts: ~8 at f = 3.
+    assert 6.0 < series["messages_per_update"] < 10.0

@@ -21,7 +21,7 @@ from repro.core.config import CurpConfig
 from repro.core.master import CurpMaster, FULL_RANGE
 from repro.core.messages import ClusterView, MasterInfo, StartArgs
 from repro.core.recovery import RecoveryFailed, build_recovery_master, recover
-from repro.core.witness import WitnessServer
+from repro.core.witness import WitnessEndpoint, WitnessServer
 from repro.cluster.shard_map import ShardMap
 from repro.kvstore.backup import BackupServer
 from repro.rifl import LeaseServer
@@ -61,6 +61,9 @@ class Coordinator:
         self.masters: dict[str, ManagedMaster] = {}
         self.backup_servers: dict[str, BackupServer] = {}
         self.witness_servers: dict[str, WitnessServer] = {}
+        #: multi-tenant witness endpoints by host name: one host serving
+        #: several masters' witness sets (``add_witness_endpoint``)
+        self.witness_endpoints: dict[str, WitnessEndpoint] = {}
         #: spare hosts used to restore the replication factor when a
         #: backup dies during/before a master recovery
         self.backup_spares: list["Host"] = []
@@ -137,6 +140,12 @@ class Coordinator:
             self.backup_servers[backup_host.name] = server
             transports[backup_host.name] = server.transport
         for witness_host in witness_hosts:
+            endpoint = self.witness_endpoints.get(witness_host.name)
+            if endpoint is not None:
+                # Multi-tenant endpoint: this master becomes one more
+                # tenant behind the host's existing rx handler.
+                endpoint.serve(master_id)
+                continue
             server = self.witness_servers.get(witness_host.name)
             if server is None:
                 # A witness colocated with a backup (Figure 2) shares
@@ -174,6 +183,12 @@ class Coordinator:
     def add_witness_host(self, witness_host: "Host",
                          record_time: float = 0.0) -> WitnessServer:
         """Register a standby witness server (for replacements)."""
+        if witness_host.name in self.witness_endpoints:
+            # Symmetric to the add_witness_endpoint guard: a new
+            # WitnessServer would steal the host's message handler and
+            # orphan every tenant behind the endpoint.
+            raise ValueError(f"{witness_host.name} already hosts a "
+                             f"multi-tenant witness endpoint")
         server = WitnessServer(
             witness_host, slots=self.config.witness_slots,
             associativity=self.config.witness_associativity,
@@ -181,6 +196,26 @@ class Coordinator:
             record_time=record_time)
         self.witness_servers[witness_host.name] = server
         return server
+
+    def add_witness_endpoint(self, witness_host: "Host",
+                             record_time: float = 0.0) -> WitnessEndpoint:
+        """Register a multi-tenant witness endpoint on ``witness_host``.
+
+        Masters subsequently created (or recovered) with this host in
+        their witness list are served as tenants of the one endpoint —
+        the shared-host deployment that lets f witness hosts serve an
+        entire multi-shard cluster.
+        """
+        if witness_host.name in self.witness_servers:
+            raise ValueError(f"{witness_host.name} already hosts a "
+                             f"single-tenant witness")
+        endpoint = WitnessEndpoint(
+            witness_host, slots=self.config.witness_slots,
+            associativity=self.config.witness_associativity,
+            stale_threshold=self.config.gc_stale_threshold,
+            record_time=record_time)
+        self.witness_endpoints[witness_host.name] = endpoint
+        return endpoint
 
     # ------------------------------------------------------------------
     # master crash recovery (§3.3, §4.6)

@@ -16,6 +16,9 @@ recovered lazily via commutativity.  The pieces:
 - :class:`~repro.core.witness.WitnessServer` — the RPC wrapper with the
   Figure 4 API (record/gc/getRecoveryData/start/end) plus the
   ``probe`` RPC that enables consistent reads from backups (§A.1).
+- :class:`~repro.core.witness.WitnessEndpoint` — the multi-tenant
+  variant: one host serving several masters' witness sets behind a
+  single rx handler, with receive-side cross-master gc merging.
 - :class:`~repro.core.master.CurpMaster` — speculative execution,
   unsynced-window commutativity checks, batched backup syncs, witness
   garbage collection, hot-key preemptive syncs (§3.2.3, §4.3-4.5).
@@ -27,7 +30,7 @@ recovered lazily via commutativity.  The pieces:
 
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.witness_cache import WitnessCache
-from repro.core.witness import WitnessServer
+from repro.core.witness import WitnessEndpoint, WitnessServer, WitnessStats
 from repro.core.master import CurpMaster
 from repro.core.client import CurpClient, UpdateOutcome
 
@@ -38,5 +41,7 @@ __all__ = [
     "ReplicationMode",
     "UpdateOutcome",
     "WitnessCache",
+    "WitnessEndpoint",
+    "WitnessStats",
     "WitnessServer",
 ]

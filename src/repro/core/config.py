@@ -90,6 +90,22 @@ class CurpConfig:
     #: default) keeps the PR 1 golden-trace dispatch order exactly.
     fast_completion: bool = False
 
+    #: True = transport-level frame coalescing: messages a host sends
+    #: to one destination within one virtual instant are packed into a
+    #: single NIC :class:`~repro.net.message.Frame` at the
+    #: end-of-instant flush boundary — one transmission (one delivery
+    #: record, one rx dispatch, one latency sample, one drop roll) for
+    #: the whole batch, unpacked in send order at the receiver.  The
+    #: client's 1 + f fan-out and the master's replicate/gc fan-outs
+    #: are the primary producers; pipelined/batched workloads coalesce
+    #: hardest (CURP §4 batches syncs and gc the same way, and
+    #: commutative operations are exactly the ones safe to pack).
+    #: Latency physics change per *frame* (tx_cost and wire latency are
+    #: paid once per frame, not per message), so False (the default)
+    #: preserves the PR 1/PR 3 golden traces byte-for-byte; the
+    #: coalesced path is pinned by its own golden trace.
+    frame_coalescing: bool = False
+
     # -- client behaviour ------------------------------------------------
     #: per-RPC timeout for client operations
     rpc_timeout: float = 2_000.0

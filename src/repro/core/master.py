@@ -570,7 +570,11 @@ class CurpMaster:
                 # shared host where a standalone gc_batch would have
                 # been the second.  Pairs in _gc_ready are durable from
                 # *previous* rounds, so shipping them with this round's
-                # entries is safe.
+                # entries is safe.  (config.frame_coalescing subsumes
+                # the transport half of this: a replicate and a
+                # same-instant gc_batch to one host share a NIC frame
+                # even without piggybacking — but the piggyback still
+                # saves the second *RPC*, not just the second frame.)
                 batch, rounds, riders, standalone = self._take_piggyback()
                 gc_args = None
                 if batch:

@@ -19,10 +19,25 @@ Witness storage is non-volatile (§3.2.2: flash-backed DRAM): it
 survives host crash + restart.  While the host is down, clients'
 record RPCs time out and they fall back to the 2-RTT sync path —
 availability degrades, consistency never does.
+
+Two deployment shapes share the serving logic:
+
+- :class:`WitnessServer` — the classic one-master-at-a-time endpoint
+  (optionally sharing a colocated backup's transport, Figure 2);
+- :class:`WitnessEndpoint` — the *multi-tenant* endpoint: one host
+  serving several masters'/shards' witness sets behind a single rx
+  handler, one :class:`WitnessServer` tenant (own cache, own
+  life cycle) per master, routed by the ``master_id`` every witness
+  RPC already carries.  ``gc_batch`` flushes arriving from different
+  masters within one virtual instant apply as one merged batch at the
+  end-of-instant boundary (``WitnessStats.gc_merged``) — the
+  receive-side half of the cross-master gc coalescing whose sending
+  edge is ``config.gc_piggyback``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.core.messages import (
@@ -49,12 +64,47 @@ MODE_NORMAL = "normal"
 MODE_RECOVERY = "recovery"
 
 
+#: the witness wire API (Figure 4 + probe): one registration table
+#: shared by the single-tenant server and the multi-tenant endpoint so
+#: a future RPC cannot be added to one deployment and silently missed
+#: by the other — both classes must implement every handler attribute.
+_WITNESS_RPC_HANDLERS: tuple[tuple[str, str], ...] = (
+    ("record", "_handle_record"),
+    ("gc", "_handle_gc"),
+    ("gc_batch", "_handle_gc_batch"),
+    ("get_recovery_data", "_handle_recovery_data"),
+    ("probe", "_handle_probe"),
+    ("start", "_handle_start"),
+    ("end", "_handle_end"),
+)
+
+
+@dataclasses.dataclass
+class WitnessStats:
+    """Counters for a multi-tenant :class:`WitnessEndpoint`."""
+
+    records: int = 0
+    gcs: int = 0
+    gc_batches: int = 0
+    #: gc_batch flushes that applied inside a cross-master merged
+    #: batch (≥ 2 masters' flushes landed in the same virtual instant)
+    gc_merged: int = 0
+    #: merged apply passes (one per instant with flushes from ≥ 2 masters)
+    gc_merge_batches: int = 0
+
+
 class WitnessServer:
-    """One witness endpoint on a host."""
+    """One witness endpoint on a host.
+
+    ``register=False`` builds a *tenant*: the serving logic without any
+    transport registration, for a :class:`WitnessEndpoint` that routes
+    several masters' traffic through one rx handler.
+    """
 
     def __init__(self, host: "Host", slots: int = 4096, associativity: int = 4,
                  stale_threshold: int = 3, record_time: float = 0.0,
-                 transport: RpcTransport | None = None):
+                 transport: RpcTransport | None = None,
+                 register: bool = True):
         self.host = host
         self.sim = host.sim
         self.mode = MODE_UNCONFIGURED
@@ -70,13 +120,9 @@ class WitnessServer:
         # Witnesses are lightweight and can share a host (and its RPC
         # endpoint) with a backup — Figure 2's colocated deployment.
         self.transport = transport or RpcTransport(host)
-        self.transport.register("record", self._handle_record)
-        self.transport.register("gc", self._handle_gc)
-        self.transport.register("gc_batch", self._handle_gc_batch)
-        self.transport.register("get_recovery_data", self._handle_recovery_data)
-        self.transport.register("probe", self._handle_probe)
-        self.transport.register("start", self._handle_start)
-        self.transport.register("end", self._handle_end)
+        if register:
+            for method, handler in _WITNESS_RPC_HANDLERS:
+                self.transport.register(method, getattr(self, handler))
         # NVM: no crash hook — cache contents survive crash/restart.
 
     # ------------------------------------------------------------------
@@ -189,4 +235,176 @@ class WitnessServer:
         self.master_id = None
         self.mode = MODE_UNCONFIGURED
         self.cache.clear()
+        return None
+
+
+class WitnessEndpoint:
+    """Multi-tenant witness host: several masters' witness sets behind
+    one rx handler.
+
+    Each served master gets a :class:`WitnessServer` *tenant* with its
+    own cache and life cycle (start / recovery freeze / end apply per
+    tenant — a recovering master must not disturb its neighbours), all
+    routed by the ``master_id`` every witness RPC carries.  Capacity is
+    per tenant, matching the paper's per-master witness sizing (§4.2).
+
+    Receive-side cross-master gc merge: ``gc_batch`` flushes are
+    buffered for the current virtual instant and applied together at
+    the end-of-instant boundary, so flushes arriving from different
+    masters in one instant — e.g. unpacked from one coalesced frame,
+    or landing in the same scheduling quantum under load — cost one
+    merged apply pass instead of N independent dispatches.  Each
+    master still receives exactly its own stale-suspect list on its
+    own reply.  Merged flushes are counted in
+    ``WitnessStats.gc_merged``.  Timing is unchanged: the merge runs
+    within the same instant the flushes arrived.
+    """
+
+    def __init__(self, host: "Host", slots: int = 4096,
+                 associativity: int = 4, stale_threshold: int = 3,
+                 record_time: float = 0.0,
+                 transport: RpcTransport | None = None):
+        self.host = host
+        self.sim = host.sim
+        self.slots = slots
+        self.associativity = associativity
+        self.stale_threshold = stale_threshold
+        self.record_time = record_time
+        self.tenants: dict[str, WitnessServer] = {}
+        self.stats = WitnessStats()
+        #: gc_batch flushes awaiting this instant's merged apply
+        self._pending_gc: list[tuple[GcBatchArgs, typing.Any]] = []
+        self._merge_armed = False
+        self.transport = transport or RpcTransport(host)
+        for method, handler in _WITNESS_RPC_HANDLERS:
+            self.transport.register(method, getattr(self, handler))
+        # Tenant caches are NVM and survive the crash, but flushes
+        # buffered for a merge die with the host like any in-flight
+        # request — and the armed flag must reset so the *next*
+        # incarnation's first flush arms a fresh hook instead of
+        # relying on the stale one (which no-ops on its guard).
+        host.on_crash(self._on_crash)
+
+    def _on_crash(self) -> None:
+        self._pending_gc.clear()
+        self._merge_armed = False
+
+    # ------------------------------------------------------------------
+    # tenancy
+    # ------------------------------------------------------------------
+    def serve(self, master_id: str) -> WitnessServer:
+        """Start (or restart, §3.6) serving ``master_id``'s witness set."""
+        tenant = self.tenants.get(master_id)
+        if tenant is None:
+            tenant = WitnessServer(
+                self.host, slots=self.slots,
+                associativity=self.associativity,
+                stale_threshold=self.stale_threshold,
+                record_time=self.record_time, transport=self.transport,
+                register=False)
+            self.tenants[master_id] = tenant
+        tenant.start_for(master_id)
+        return tenant
+
+    def _tenant(self, master_id: str) -> WitnessServer | None:
+        return self.tenants.get(master_id)
+
+    # ------------------------------------------------------------------
+    # routed handlers
+    # ------------------------------------------------------------------
+    def _handle_record(self, args: RecordArgs, ctx):
+        tenant = self.tenants.get(args.master_id)
+        if tenant is None:
+            # Unknown master: same contract as a reconfigured witness —
+            # the client falls back to the 2-RTT sync path.
+            return RECORD_REJECTED
+        self.stats.records += 1
+        return tenant._handle_record(args, ctx)
+
+    def _handle_probe(self, args: ProbeArgs, ctx):
+        tenant = self.tenants.get(args.master_id)
+        if tenant is None:
+            return PROBE_CONFLICT
+        return tenant._handle_probe(args, ctx)
+
+    def _handle_gc(self, args: GcArgs, ctx):
+        tenant = self.tenants.get(args.master_id)
+        if tenant is None:
+            raise AppError("WRONG_WITNESS_STATE",
+                           {"mode": MODE_UNCONFIGURED,
+                            "master": args.master_id})
+        self.stats.gcs += 1
+        return tenant._handle_gc(args, ctx)
+
+    def _handle_gc_batch(self, args: GcBatchArgs, ctx):
+        """Buffer the flush; all of this instant's flushes apply as one
+        merged batch once the instant quiesces."""
+        if args.master_id not in self.tenants:
+            raise AppError("WRONG_WITNESS_STATE",
+                           {"mode": MODE_UNCONFIGURED,
+                            "master": args.master_id})
+        self._pending_gc.append((args, ctx))
+        if not self._merge_armed:
+            self._merge_armed = True
+            self.sim.at_instant_end(self._apply_gc_merge,
+                                    self.host.incarnation)
+        return RpcTransport.DEFERRED
+
+    def _apply_gc_merge(self, incarnation: int) -> None:
+        """End-of-instant: apply every buffered gc_batch flush.
+
+        Replies go out in arrival order, each carrying only its own
+        master's stale suspects.  A crash since arming drops the lot —
+        the masters time out and re-send, and a witness that already
+        applied a batch treats the re-sent pairs as no-ops.
+        """
+        if not self.host.alive or self.host.incarnation != incarnation:
+            # Stale hook from a previous life: the crash hook already
+            # dropped that life's buffer, and anything pending now was
+            # accepted by the next incarnation, whose own hook owns it
+            # — touch nothing.
+            return
+        self._merge_armed = False
+        pending, self._pending_gc = self._pending_gc, []
+        if len({args.master_id for args, _ctx in pending}) > 1:
+            self.stats.gc_merged += len(pending)
+            self.stats.gc_merge_batches += 1
+        for args, ctx in pending:
+            self.stats.gc_batches += 1
+            tenant = self.tenants.get(args.master_id)
+            stale = None
+            if tenant is not None:
+                stale = tenant.apply_gc_batch(args.master_id, args.pairs,
+                                              args.rounds)
+            if stale is None:
+                mode = MODE_UNCONFIGURED if tenant is None else tenant.mode
+                ctx.reply_error("WRONG_WITNESS_STATE", {"mode": mode})
+            else:
+                ctx.reply(stale)
+
+    def _handle_recovery_data(self, args: GetRecoveryDataArgs, ctx):
+        tenant = self.tenants.get(args.master_id)
+        if tenant is None:
+            raise AppError("WRONG_WITNESS_STATE",
+                           {"mode": MODE_UNCONFIGURED,
+                            "master": args.master_id})
+        # Freezes only this master's tenant; neighbours keep serving.
+        return tenant._handle_recovery_data(args, ctx)
+
+    def _handle_start(self, args: StartArgs, ctx):
+        self.serve(args.master_id)
+        return "SUCCESS"
+
+    def _handle_end(self, args, ctx):
+        """Decommission one tenant (args carry a master_id) or, with
+        ``None`` args (the single-tenant wire contract), every tenant."""
+        master_id = getattr(args, "master_id", args)
+        if master_id is None:
+            tenants, self.tenants = list(self.tenants.values()), {}
+            for tenant in tenants:
+                tenant._handle_end(None, ctx)
+            return None
+        tenant = self.tenants.pop(master_id, None)
+        if tenant is not None:
+            tenant._handle_end(args, ctx)
         return None

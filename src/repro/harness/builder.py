@@ -113,7 +113,8 @@ def build_cluster(config: CurpConfig | None = None,
                   seed: int = 0,
                   drop_rate: float = 0.0,
                   lease_duration: float = 10_000_000.0,
-                  colocate_witnesses: bool = False) -> Cluster:
+                  colocate_witnesses: bool = False,
+                  multi_tenant_witnesses: bool = False) -> Cluster:
     """Build a cluster: coordinator + n masters, each with f backups and
     f witnesses (when the mode uses them), on a fresh simulator.
 
@@ -124,11 +125,22 @@ def build_cluster(config: CurpConfig | None = None,
 
     ``colocate_witnesses=True`` places each witness on its backup's
     host — the paper's Figure 2 deployment ("witnesses are lightweight
-    and can be co-hosted with backups")."""
+    and can be co-hosted with backups").
+
+    ``multi_tenant_witnesses=True`` builds f shared witness hosts
+    (``wshared0..f-1``), each a
+    :class:`~repro.core.witness.WitnessEndpoint` serving every
+    master's witness set as a tenant — f hosts of witness hardware for
+    the whole multi-shard cluster, with receive-side cross-master gc
+    merging."""
     config = config or CurpConfig()
+    if colocate_witnesses and multi_tenant_witnesses:
+        raise ValueError("colocate_witnesses and multi_tenant_witnesses "
+                         "are mutually exclusive deployments")
     sim = Simulator(seed=seed)
     network = Network(sim, latency=LatencyModel(profile.latency()),
-                      drop_rate=drop_rate)
+                      drop_rate=drop_rate,
+                      frame_coalescing=config.frame_coalescing)
     coordinator_host = network.add_host("coordinator",
                                         tx_cost=profile.coordinator.tx,
                                         rx_cost=profile.coordinator.rx)
@@ -138,6 +150,15 @@ def build_cluster(config: CurpConfig | None = None,
     masters: dict[str, CurpMaster] = {}
     backup_hosts: dict[str, list[str]] = {}
     witness_hosts: dict[str, list[str]] = {}
+    shared_witnesses: list = []
+    if multi_tenant_witnesses and config.uses_witnesses:
+        for i in range(config.f):
+            shared = network.add_host(f"wshared{i}",
+                                      tx_cost=profile.witness.tx,
+                                      rx_cost=profile.witness.rx)
+            coordinator.add_witness_endpoint(
+                shared, record_time=profile.witness_record_time)
+            shared_witnesses.append(shared)
     span = 2 ** 64 // n_masters
     for index in range(n_masters):
         master_id = f"m{index}"
@@ -149,7 +170,9 @@ def build_cluster(config: CurpConfig | None = None,
                                     tx_cost=profile.backup.tx,
                                     rx_cost=profile.backup.rx)
                    for i in range(config.f if config.uses_backups else 0)]
-        if colocate_witnesses and config.uses_witnesses:
+        if multi_tenant_witnesses and config.uses_witnesses:
+            witnesses = shared_witnesses
+        elif colocate_witnesses and config.uses_witnesses:
             if len(backups) < config.f:
                 raise ValueError("colocation requires f backups")
             witnesses = backups[:config.f]

@@ -14,7 +14,7 @@ from collections import defaultdict
 
 from repro.net.host import Host
 from repro.net.latency import LatencyModel
-from repro.net.message import Message
+from repro.net.message import Frame, Message
 from repro.sim.distributions import Distribution
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -22,32 +22,62 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 
 class TrafficStats:
-    """Message/byte counters, per host and total (§5.2 analysis)."""
+    """Message/byte counters, per host and total (§5.2 analysis).
+
+    ``messages_sent`` counts *transmissions*: a coalesced frame counts
+    once, however many RPC payloads ride in it — that is the
+    per-message floor the ISSUE 4 tentpole tracks.  ``payloads_sent``
+    counts the contained payloads, so ``payloads_sent -
+    messages_sent`` is the number of per-message costs coalescing
+    saved.  Without coalescing the two counters are always equal.
+    """
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        #: RPC payloads carried by all transmissions (frame = len, else 1)
+        self.payloads_sent = 0
+        #: transmissions that were multi-payload frames
+        self.frames_sent = 0
+        #: payloads that rode in multi-payload frames
+        self.frame_payloads = 0
+        #: payloads lost to dropped/partitioned transmissions
+        self.payloads_dropped = 0
         self.per_host_sent: dict[str, int] = defaultdict(int)
         self.per_host_bytes: dict[str, int] = defaultdict(int)
 
     def record_send(self, src: str, size_bytes: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        self.payloads_sent += 1
         self.per_host_sent[src] += 1
         self.per_host_bytes[src] += size_bytes
+
+    def messages_per_update(self, completed_updates: int) -> float:
+        """Wire transmissions per completed update — the protocol's
+        per-message floor (~8 at f = 3 without coalescing; the ISSUE 4
+        target is ≤ 4 with frames on).  Callers pass the completed
+        update count from the clients/masters driving the run."""
+        if completed_updates <= 0:
+            return 0.0
+        return self.messages_sent / completed_updates
 
 
 class Network:
     """Connects hosts; owns latency, drop and partition behaviour."""
 
     def __init__(self, sim: "Simulator", latency: LatencyModel | None = None,
-                 drop_rate: float = 0.0):
+                 drop_rate: float = 0.0, frame_coalescing: bool = False):
         self.sim = sim
         self.latency = latency or LatencyModel()
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate must be in [0, 1): {drop_rate}")
         self.drop_rate = drop_rate
+        #: pack same-instant same-destination sends into one Frame per
+        #: transmission (``CurpConfig.frame_coalescing``); hosts copy
+        #: the flag at construction, so set it before adding hosts
+        self.frame_coalescing = frame_coalescing
         self.hosts: dict[str, Host] = {}
         self.stats = TrafficStats()
         #: observers called with every transmitted Message (traffic
@@ -116,6 +146,7 @@ class Network:
         stats = self.stats
         stats.messages_sent += 1
         stats.bytes_sent += size_bytes
+        stats.payloads_sent += 1
         stats.per_host_sent[src_name] += 1
         stats.per_host_bytes[src_name] += size_bytes
         # Built once: the same instance feeds the taps (documented as
@@ -127,9 +158,11 @@ class Network:
                 tap(message)
         if self._blocked and frozenset((src_name, dst)) in self._blocked:
             stats.messages_dropped += 1
+            stats.payloads_dropped += 1
             return
         if self.drop_rate > 0 and sim.rng.random() < self.drop_rate:
             stats.messages_dropped += 1
+            stats.payloads_dropped += 1
             return
         if src_name == dst:
             wire = 0.0  # loopback
@@ -137,3 +170,55 @@ class Network:
             wire = self.latency.sample(sim.rng, src_name, dst)
         # departs_at >= now by construction (Host.send clamps to now).
         sim._schedule_deliver(departs_at - sim.now + wire, target, message)
+
+    def _transmit_frame(self, src: Host, dst: str,
+                        messages: "list[Message]",
+                        departs_at: float) -> None:
+        """Transmit one coalesced frame (Host._flush_frame).
+
+        One transmission for all of ``messages``: one stats entry, one
+        partition check, one drop roll, one latency sample, one
+        delivery record.  A single-message buffer still delivers the
+        bare Message so the receive side is indistinguishable from the
+        uncoalesced path.  Taps observe every contained message — the
+        §5.2 payload accounting is per RPC, not per wire transmission.
+        """
+        target = self.hosts.get(dst)
+        if target is None:
+            raise KeyError(f"unknown destination host: {dst}")
+        src_name = src.name
+        stats = self.stats
+        count = len(messages)
+        size_bytes = 0
+        for message in messages:
+            size_bytes += message.size_bytes
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        stats.payloads_sent += count
+        if count > 1:
+            stats.frames_sent += 1
+            stats.frame_payloads += count
+        stats.per_host_sent[src_name] += 1
+        stats.per_host_bytes[src_name] += size_bytes
+        sim = self.sim
+        if self.taps:
+            for tap in self.taps:
+                for message in messages:
+                    tap(message)
+        if self._blocked and frozenset((src_name, dst)) in self._blocked:
+            stats.messages_dropped += 1
+            stats.payloads_dropped += count
+            return
+        if self.drop_rate > 0 and sim.rng.random() < self.drop_rate:
+            stats.messages_dropped += 1
+            stats.payloads_dropped += count
+            return
+        if src_name == dst:
+            wire = 0.0  # loopback
+        else:
+            wire = self.latency.sample(sim.rng, src_name, dst)
+        if count == 1:
+            payload: typing.Any = messages[0]
+        else:
+            payload = Frame(src_name, dst, messages, size_bytes, sim.now)
+        sim._schedule_deliver(departs_at - sim.now + wire, target, payload)

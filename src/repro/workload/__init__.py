@@ -17,10 +17,16 @@ generators from scratch:
 
 from repro.workload.zipfian import ScrambledZipfian, UniformGenerator, ZipfianGenerator
 from repro.workload.ycsb import YCSB_A, YCSB_B, YCSB_WRITE_ONLY, YcsbWorkload
-from repro.workload.clients import ClosedLoopClient, run_closed_loop
+from repro.workload.clients import (
+    ClosedLoopClient,
+    PipelinedClient,
+    run_closed_loop,
+    run_pipelined_loop,
+)
 
 __all__ = [
     "ClosedLoopClient",
+    "PipelinedClient",
     "ScrambledZipfian",
     "UniformGenerator",
     "YCSB_A",
@@ -29,4 +35,5 @@ __all__ = [
     "YcsbWorkload",
     "ZipfianGenerator",
     "run_closed_loop",
+    "run_pipelined_loop",
 ]

@@ -1,0 +1,279 @@
+"""The multi-tenant witness endpoint (ISSUE 4).
+
+One host serves several masters' witness sets behind a single rx
+handler: records/probes/gc route to per-master tenants, a recovery
+freeze is per tenant, and ``gc_batch`` flushes arriving from different
+masters within one virtual instant apply as one merged batch
+(``WitnessStats.gc_merged``) while every master still receives exactly
+its own stale-suspect list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import (
+    GcBatchArgs,
+    GetRecoveryDataArgs,
+    PROBE_COMMUTE,
+    PROBE_CONFLICT,
+    ProbeArgs,
+    RECORD_ACCEPTED,
+    RECORD_REJECTED,
+    RecordArgs,
+    RecordedRequest,
+    StartArgs,
+)
+from repro.core.witness import MODE_RECOVERY, WitnessEndpoint
+from repro.net import Network
+from repro.rpc import AppError, RpcTimeout, RpcTransport
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup(sim: Simulator, network: Network):
+    """An endpoint serving m0 and m1, plus one transport per master."""
+    endpoint = WitnessEndpoint(network.add_host("witness"), slots=64,
+                               associativity=4, stale_threshold=3)
+    endpoint.serve("m0")
+    endpoint.serve("m1")
+    m0 = RpcTransport(network.add_host("m0-host"))
+    m1 = RpcTransport(network.add_host("m1-host"))
+    return endpoint, m0, m1
+
+
+def record_args(master_id: str, key_hash: int, rpc_id) -> RecordArgs:
+    return RecordArgs(master_id=master_id, key_hashes=(key_hash,),
+                      rpc_id=rpc_id,
+                      request=RecordedRequest(op=f"op-{rpc_id}",
+                                              rpc_id=rpc_id))
+
+
+# ----------------------------------------------------------------------
+# tenant routing
+# ----------------------------------------------------------------------
+def test_records_route_to_independent_tenant_caches(sim, setup):
+    endpoint, m0, m1 = setup
+    # The same key hash occupies a slot in *both* tenants: capacity and
+    # commutativity are per master, as with separate witness hosts.
+    assert sim.run(m0.call("witness", "record",
+                           record_args("m0", 7, "a"))) == RECORD_ACCEPTED
+    assert sim.run(m1.call("witness", "record",
+                           record_args("m1", 7, "b"))) == RECORD_ACCEPTED
+    # A conflicting record is rejected only on the tenant that holds
+    # the first one.
+    assert sim.run(m0.call("witness", "record",
+                           record_args("m0", 7, "c"))) == RECORD_REJECTED
+    assert endpoint.stats.records == 3
+    assert endpoint.tenants["m0"].cache.occupied_slots() == 1
+    assert endpoint.tenants["m1"].cache.occupied_slots() == 1
+
+
+def test_unknown_master_is_rejected_conservatively(sim, setup):
+    _endpoint, m0, _m1 = setup
+    assert sim.run(m0.call("witness", "record",
+                           record_args("m9", 1, "x"))) == RECORD_REJECTED
+    assert sim.run(m0.call(
+        "witness", "probe",
+        ProbeArgs(master_id="m9", key_hashes=(1,)))) == PROBE_CONFLICT
+    with pytest.raises(AppError) as exc:
+        sim.run(m0.call("witness", "gc_batch",
+                        GcBatchArgs(master_id="m9", pairs=(), rounds=1)))
+    assert exc.value.code == "WRONG_WITNESS_STATE"
+
+
+def test_probe_routes_per_tenant(sim, setup):
+    _endpoint, m0, m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 5, "a")))
+    assert sim.run(m0.call(
+        "witness", "probe",
+        ProbeArgs(master_id="m0", key_hashes=(5,)))) == PROBE_CONFLICT
+    assert sim.run(m1.call(
+        "witness", "probe",
+        ProbeArgs(master_id="m1", key_hashes=(5,)))) == PROBE_COMMUTE
+
+
+def test_recovery_freezes_only_one_tenant(sim, setup):
+    endpoint, m0, m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 3, "a")))
+    data = sim.run(m0.call("witness", "get_recovery_data",
+                           GetRecoveryDataArgs(master_id="m0")))
+    assert [r.rpc_id for r in data] == ["a"]
+    assert endpoint.tenants["m0"].mode == MODE_RECOVERY
+    # m0 is frozen (record rejected); m1 keeps serving.
+    assert sim.run(m0.call("witness", "record",
+                           record_args("m0", 9, "b"))) == RECORD_REJECTED
+    assert sim.run(m1.call("witness", "record",
+                           record_args("m1", 9, "c"))) == RECORD_ACCEPTED
+    # start (§3.6) begins a fresh life for m0 without touching m1.
+    assert sim.run(m0.call("witness", "start",
+                           StartArgs(master_id="m0"))) == "SUCCESS"
+    assert sim.run(m0.call("witness", "record",
+                           record_args("m0", 9, "d"))) == RECORD_ACCEPTED
+    assert endpoint.tenants["m1"].cache.occupied_slots() == 1
+
+
+def test_end_decommissions_one_tenant(sim, setup):
+    endpoint, m0, m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 3, "a")))
+    sim.run(m1.call("witness", "record", record_args("m1", 4, "b")))
+    sim.run(m0.call("witness", "end", StartArgs(master_id="m0")))
+    assert "m0" not in endpoint.tenants
+    assert sim.run(m0.call("witness", "record",
+                           record_args("m0", 5, "c"))) == RECORD_REJECTED
+    assert endpoint.tenants["m1"].cache.occupied_slots() == 1
+
+
+# ----------------------------------------------------------------------
+# cross-master gc merge
+# ----------------------------------------------------------------------
+def test_same_instant_flushes_from_two_masters_merge(sim, setup):
+    endpoint, m0, m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 11, "a")))
+    sim.run(m1.call("witness", "record", record_args("m1", 22, "b")))
+    results = {}
+
+    def collect(tag, value, error):
+        results[tag] = (value, error)
+    # Both masters flush in the same instant: one merged apply pass.
+    m0.call_cb("witness", "gc_batch",
+               GcBatchArgs(master_id="m0", pairs=((11, "a"),), rounds=1),
+               collect, "m0")
+    m1.call_cb("witness", "gc_batch",
+               GcBatchArgs(master_id="m1", pairs=((22, "b"),), rounds=1),
+               collect, "m1")
+    sim.run()
+    assert results == {"m0": ((), None), "m1": ((), None)}
+    assert endpoint.tenants["m0"].cache.occupied_slots() == 0
+    assert endpoint.tenants["m1"].cache.occupied_slots() == 0
+    assert endpoint.stats.gc_batches == 2
+    assert endpoint.stats.gc_merged == 2
+    assert endpoint.stats.gc_merge_batches == 1
+
+
+def test_single_master_flush_is_not_counted_as_merged(sim, setup):
+    endpoint, m0, _m1 = setup
+    sim.run(m0.call("witness", "gc_batch",
+                    GcBatchArgs(master_id="m0", pairs=(), rounds=1)))
+    assert endpoint.stats.gc_batches == 1
+    assert endpoint.stats.gc_merged == 0
+    assert endpoint.stats.gc_merge_batches == 0
+
+
+def test_merged_flush_returns_stale_suspects_to_the_right_master(
+        sim, setup):
+    """m0 accumulates an uncollected record (aged past the stale
+    threshold, then bumped by a conflicting record); a same-instant
+    merged flush must hand the suspect to m0 only — m1's reply stays
+    clean even though both applied in one batch."""
+    endpoint, m0, m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 11, "orphan")))
+    # Age m0's record past stale_threshold=3 without collecting it.
+    for round_number in range(3):
+        sim.run(m0.call("witness", "gc_batch",
+                        GcBatchArgs(master_id="m0", pairs=(),
+                                    rounds=1)))
+    # A conflicting record marks the survivor as a suspect (§4.5).
+    assert sim.run(m0.call(
+        "witness", "record",
+        record_args("m0", 11, "bumper"))) == RECORD_REJECTED
+    results = {}
+
+    def collect(tag, value, error):
+        results[tag] = (value, error)
+    m0.call_cb("witness", "gc_batch",
+               GcBatchArgs(master_id="m0", pairs=(), rounds=1),
+               collect, "m0")
+    m1.call_cb("witness", "gc_batch",
+               GcBatchArgs(master_id="m1", pairs=(), rounds=1),
+               collect, "m1")
+    sim.run()
+    m0_stale, m0_error = results["m0"]
+    assert m0_error is None
+    assert [r.rpc_id for r in m0_stale] == ["orphan"]
+    assert results["m1"] == ((), None)
+    assert endpoint.stats.gc_merge_batches == 1
+
+
+def test_crash_drops_buffered_flushes_and_masters_time_out(sim, setup):
+    """A crash in the instant the flushes arrived (before the merge
+    applies) loses them like any in-flight request: no replies, the
+    masters time out, and the tenant caches — NVM — keep their
+    records for the re-sent flush after restart."""
+    endpoint, m0, _m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 7, "a")))
+    call = m0.call("witness", "gc_batch",
+                   GcBatchArgs(master_id="m0", pairs=((7, "a"),), rounds=1),
+                   timeout=50.0)
+    # Crash exactly when the flush is being buffered (arrival is at
+    # +2 µs wire latency).
+    sim.schedule_callback(2.0, endpoint.host.crash)
+    with pytest.raises(RpcTimeout):
+        sim.run(call)
+    assert endpoint.tenants["m0"].cache.occupied_slots() == 1  # NVM survived
+    endpoint.host.restart()
+    stale = sim.run(m0.call(
+        "witness", "gc_batch",
+        GcBatchArgs(master_id="m0", pairs=((7, "a"),), rounds=1)))
+    assert stale == ()
+    assert endpoint.tenants["m0"].cache.occupied_slots() == 0
+
+
+def test_same_instant_crash_restart_rearms_the_merge(sim, setup):
+    """Regression: a crash must reset the merge-armed flag, so a flush
+    accepted by the restarted incarnation in the same instant arms its
+    own hook and is applied — the stale pre-crash hook must neither
+    swallow it nor apply the dead incarnation's buffer."""
+    endpoint, m0, m1 = setup
+    sim.run(m0.call("witness", "record", record_args("m0", 7, "a")))
+    sim.run(m1.call("witness", "record", record_args("m1", 8, "b")))
+    results = {}
+
+    def collect(tag, value, error):
+        results[tag] = (value, error)
+    m0.call_cb("witness", "gc_batch",
+               GcBatchArgs(master_id="m0", pairs=((7, "a"),), rounds=1),
+               collect, "m0", timeout=50.0)
+    m1.call_cb("witness", "gc_batch",
+               GcBatchArgs(master_id="m1", pairs=((8, "b"),), rounds=1),
+               collect, "m1", timeout=50.0)
+
+    def bounce_and_resend() -> None:
+        # Runs after both flushes buffered (delivery is at t=2, this
+        # callback was scheduled later at the same instant): crash,
+        # restart, and accept a fresh flush — all within instant 2.
+        endpoint.host.crash()
+        endpoint.host.restart()
+        m1.call_cb("witness", "gc_batch",
+                   GcBatchArgs(master_id="m1", pairs=((8, "b"),),
+                               rounds=1),
+                   collect, "m1-resend", timeout=50.0)
+    sim.schedule_callback(2.0, bounce_and_resend)
+    sim.run()
+    # Pre-crash flushes died with the old incarnation (timeouts)...
+    assert results["m0"][0] is None and results["m0"][1] is not None
+    assert results["m1"][0] is None and results["m1"][1] is not None
+    # ...but the new incarnation's flush applied and replied.
+    assert results["m1-resend"] == ((), None)
+    assert endpoint.tenants["m1"].cache.occupied_slots() == 0
+    assert endpoint.tenants["m0"].cache.occupied_slots() == 1  # never gc'd
+
+
+def test_single_tenant_server_cannot_clobber_an_endpoint_host(sim, network):
+    """Coordinator guard symmetry: installing a single-tenant witness
+    on a host that already runs a multi-tenant endpoint would steal
+    the rx handler and orphan every tenant — both directions must
+    refuse."""
+    from repro.core.config import CurpConfig
+    from repro.cluster.coordinator import Coordinator
+
+    coordinator = Coordinator(network.add_host("coord"), network,
+                              CurpConfig(f=1))
+    shared = network.add_host("shared-witness")
+    coordinator.add_witness_endpoint(shared)
+    with pytest.raises(ValueError, match="multi-tenant"):
+        coordinator.add_witness_host(shared)
+    solo = network.add_host("solo-witness")
+    coordinator.add_witness_host(solo)
+    with pytest.raises(ValueError, match="single-tenant"):
+        coordinator.add_witness_endpoint(solo)

@@ -26,11 +26,12 @@ from repro.verify import (
 )
 
 
-def build_chaos_cluster(seed, fast_completion=False):
+def build_chaos_cluster(seed, fast_completion=False, frame_coalescing=False):
     config = CurpConfig(f=3, mode=ReplicationMode.CURP, min_sync_batch=8,
                         idle_sync_delay=150.0, retry_backoff=30.0,
                         rpc_timeout=200.0, max_attempts=100,
-                        fast_completion=fast_completion)
+                        fast_completion=fast_completion,
+                        frame_coalescing=frame_coalescing)
     return build_cluster(config, seed=seed, drop_rate=0.01)
 
 
@@ -77,13 +78,19 @@ def monkey(cluster, rounds: int, gap: float):
                 cluster.coordinator.recover_master("m0", standby))
 
 
-@pytest.mark.parametrize("fast_completion", [False, True])
+@pytest.mark.parametrize("fast_completion, frame_coalescing",
+                         [(False, False), (True, False),
+                          (False, True), (True, True)])
 @pytest.mark.parametrize("seed", [11, 12, 13])
-def test_chaos_storm_stays_linearizable(seed, fast_completion):
-    # Both completion modes (generator AllOf path and the callback fast
-    # path) must survive the same storms: crash interrupts vs the
-    # incarnation-guarded continuations are the risky difference.
-    cluster = build_chaos_cluster(seed, fast_completion=fast_completion)
+def test_chaos_storm_stays_linearizable(seed, fast_completion,
+                                        frame_coalescing):
+    # All four mode combinations (generator AllOf path vs the callback
+    # fast path × plain messages vs coalesced frames) must survive the
+    # same storms: crash interrupts vs incarnation-guarded
+    # continuations, and per-message vs whole-frame loss under drops
+    # and partitions, are the risky differences.
+    cluster = build_chaos_cluster(seed, fast_completion=fast_completion,
+                                  frame_coalescing=frame_coalescing)
     history = History()
     keys = ["a", "b", "c", "d"]
     processes = []
@@ -119,12 +126,17 @@ def test_chaos_storm_stays_linearizable(seed, fast_completion):
     check_linearizable(history, model=CounterModel)
 
 
-@pytest.mark.parametrize("seed, fast_completion", [(21, False), (21, True)])
-def test_chaos_storm_durability_audit(seed, fast_completion):
+@pytest.mark.parametrize("fast_completion, frame_coalescing",
+                         [(False, False), (True, False),
+                          (False, True), (True, True)])
+@pytest.mark.parametrize("seed", [21])
+def test_chaos_storm_durability_audit(seed, fast_completion,
+                                      frame_coalescing):
     """After the storm, every acknowledged write's final value (per the
     linearized order of each key's last completed write) must be
     readable from the final master."""
-    cluster = build_chaos_cluster(seed, fast_completion=fast_completion)
+    cluster = build_chaos_cluster(seed, fast_completion=fast_completion,
+                                  frame_coalescing=frame_coalescing)
     history = History()
     client = HistoryClient(cluster.new_client(collect_outcomes=False),
                            history)

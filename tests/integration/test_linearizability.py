@@ -84,15 +84,19 @@ def test_concurrent_conflicting_clients_linearizable(seed):
     check_linearizable(history)
 
 
+@pytest.mark.parametrize("frame_coalescing", [False, True])
 @pytest.mark.parametrize("seed", [1, 2])
-def test_sharded_cluster_linearizable(seed):
+def test_sharded_cluster_linearizable(seed, frame_coalescing):
     """Sharded multi-master cluster with batched witness gc: concurrent
     clients route across all shards and the global history — therefore
-    every per-shard sub-history — stays linearizable."""
+    every per-shard sub-history — stays linearizable.  Parametrized
+    over frame coalescing (ISSUE 4): whole-frame transport must not
+    change any client-visible outcome."""
     cluster = build_cluster(CurpConfig(
         f=3, mode=ReplicationMode.CURP, min_sync_batch=10,
         idle_sync_delay=200.0, retry_backoff=20.0, rpc_timeout=150.0,
-        max_attempts=60, max_gc_batch=64, gc_flush_delay=150.0),
+        max_attempts=60, max_gc_batch=64, gc_flush_delay=150.0,
+        frame_coalescing=frame_coalescing),
         seed=seed, n_masters=4)
     keys = [f"key-{i}" for i in range(16)]
     shards = {cluster.shard_for(key) for key in keys}
@@ -104,6 +108,35 @@ def test_sharded_cluster_linearizable(seed):
     assert len(history) == 4 * 25
     for master_id in shards:
         assert cluster.master(master_id).stats.updates > 0
+    check_linearizable(history)
+
+
+@pytest.mark.parametrize("frame_coalescing", [False, True])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_sharded_multi_tenant_witnesses_linearizable(seed,
+                                                     frame_coalescing):
+    """The ISSUE 4 shared-witness deployment: four shards served by f
+    multi-tenant witness endpoints (with receive-side cross-master gc
+    merging), under fast completion and batched gc.  The global history
+    stays linearizable and the endpoints actually serve every shard."""
+    cluster = build_cluster(CurpConfig(
+        f=3, mode=ReplicationMode.CURP, min_sync_batch=10,
+        idle_sync_delay=200.0, retry_backoff=20.0, rpc_timeout=150.0,
+        max_attempts=60, max_gc_batch=64, gc_flush_delay=150.0,
+        fast_completion=True, frame_coalescing=frame_coalescing),
+        seed=seed, n_masters=4, multi_tenant_witnesses=True)
+    keys = [f"key-{i}" for i in range(16)]
+    history = History()
+    processes = run_workload(cluster, history, n_clients=4,
+                             ops_per_client=25, keys=keys)
+    drain(cluster, processes)
+    cluster.settle(2_000.0)
+    assert len(history) == 4 * 25
+    endpoints = cluster.coordinator.witness_endpoints
+    assert set(endpoints) == {"wshared0", "wshared1", "wshared2"}
+    for endpoint in endpoints.values():
+        assert set(endpoint.tenants) == {"m0", "m1", "m2", "m3"}
+        assert endpoint.stats.records > 0
     check_linearizable(history)
 
 

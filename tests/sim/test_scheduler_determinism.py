@@ -22,7 +22,7 @@ from repro.baselines import curp_config
 from repro.core.client import CurpClient
 from repro.harness.builder import build_cluster
 from repro.sim import Simulator
-from repro.workload import run_closed_loop
+from repro.workload import run_closed_loop, run_pipelined_loop
 from repro.workload.ycsb import YcsbWorkload
 
 
@@ -178,11 +178,13 @@ GOLDEN = {
 }
 
 
-def _golden_experiment(fast_completion: bool = False) -> dict:
+def _golden_experiment(fast_completion: bool = False,
+                       frame_coalescing: bool = False) -> dict:
     """The seeded YCSB experiment behind every golden pin."""
     config = curp_config(2)
-    if fast_completion:
-        config = dataclasses.replace(config, fast_completion=True)
+    if fast_completion or frame_coalescing:
+        config = dataclasses.replace(config, fast_completion=fast_completion,
+                                     frame_coalescing=frame_coalescing)
     cluster = build_cluster(config, seed=1234)
     workload = YcsbWorkload(name="golden", read_fraction=0.5,
                             item_count=1000, value_size=16,
@@ -295,3 +297,110 @@ def test_single_client_trace_identical_across_completion_modes():
             dict(sorted(cluster.network.stats.per_host_sent.items())),
         )
     assert run(False) == run(True)
+
+
+# ----------------------------------------------------------------------
+# golden trace, frame coalescing (ISSUE 4)
+# ----------------------------------------------------------------------
+def test_closed_loop_coalescing_trace_matches_fast_golden():
+    """A closed-loop client never has two same-instant messages to one
+    destination, so turning frames on must not change the fast-path
+    golden by a byte — singleton frames transmit exactly like plain
+    messages (same stats, same delivery instants, same dispatch)."""
+    observed = _golden_experiment(fast_completion=True,
+                                  frame_coalescing=True)
+    assert observed == GOLDEN_FAST
+
+
+#: end state of the seeded *pipelined* experiment (4 clients × 40
+#: waves × depth 4, zipfian 25% reads) under fast_completion +
+#: frame_coalescing — the coalesced path's own golden pin.  Note
+#: messages_sent ≈ 0.38 × payloads_sent: a wave's same-instant RPCs to
+#: each destination share one frame.  If this pin moves, the frame
+#: flush boundary changed virtual-time behaviour.
+GOLDEN_COALESCED = {
+    "now": 1356.0,
+    "processed_events": 3956,
+    "operations": 640,
+    "messages_sent": 1416,
+    "payloads_sent": 3694,
+    "frames_sent": 961,
+    "frame_payloads": 3239,
+    "bytes_sent": 630020,
+    "messages_dropped": 0,
+    "per_host_sent": {
+        "client1": 128,
+        "client2": 125,
+        "client3": 127,
+        "client4": 130,
+        "coordinator": 8,
+        "m0-backup0": 41,
+        "m0-backup1": 41,
+        "m0-host": 414,
+        "m0-witness0": 201,
+        "m0-witness1": 201,
+    },
+}
+
+
+def _coalesced_experiment(frame_coalescing: bool = True) -> dict:
+    """The seeded pipelined experiment behind the coalesced golden."""
+    config = dataclasses.replace(curp_config(2), fast_completion=True,
+                                 frame_coalescing=frame_coalescing)
+    cluster = build_cluster(config, seed=1234)
+    workload = YcsbWorkload(name="golden-pipelined", read_fraction=0.25,
+                            item_count=1000, value_size=16,
+                            distribution="zipfian")
+    result = run_pipelined_loop(cluster, workload, n_clients=4,
+                                waves=40, depth=4)
+    cluster.settle(1_000.0)
+    stats = cluster.network.stats
+    return {
+        "now": cluster.sim.now,
+        "processed_events": cluster.sim.processed_events,
+        "operations": result["operations"],
+        "messages_sent": stats.messages_sent,
+        "payloads_sent": stats.payloads_sent,
+        "frames_sent": stats.frames_sent,
+        "frame_payloads": stats.frame_payloads,
+        "bytes_sent": stats.bytes_sent,
+        "messages_dropped": stats.messages_dropped,
+        "per_host_sent": dict(sorted(stats.per_host_sent.items())),
+    }
+
+
+def test_golden_trace_coalesced_pinned():
+    assert _coalesced_experiment() == GOLDEN_COALESCED
+
+
+def test_single_client_pipelined_end_state_identical_across_frame_modes():
+    """With one pipelined client there is no cross-client contention to
+    shift the within-instant op mix, so frames on/off must produce
+    identical end states — same virtual time, operations, RPC payloads
+    and per-host bytes — while the coalesced run needs far fewer wire
+    transmissions (the PR 3-style cross-mode identity, transposed to
+    the transport layer)."""
+    def run(frames: bool):
+        config = dataclasses.replace(curp_config(2), fast_completion=True,
+                                     frame_coalescing=frames)
+        cluster = build_cluster(config, seed=77)
+        workload = YcsbWorkload(name="single", read_fraction=0.25,
+                                item_count=100, value_size=16,
+                                distribution="uniform")
+        result = run_pipelined_loop(cluster, workload, n_clients=1,
+                                    waves=30, depth=4)
+        cluster.settle(500.0)
+        stats = cluster.network.stats
+        end_state = (
+            cluster.sim.now,
+            result["operations"],
+            stats.payloads_sent,
+            stats.bytes_sent,
+            dict(sorted(stats.per_host_bytes.items())),
+        )
+        return end_state, stats.messages_sent
+    coalesced, coalesced_messages = run(True)
+    legacy, legacy_messages = run(False)
+    assert coalesced == legacy
+    # The identical protocol exchange rode far fewer transmissions.
+    assert coalesced_messages < 0.5 * legacy_messages

@@ -86,3 +86,86 @@ def test_processed_events_counter(sim: Simulator):
     sim.schedule_callback(2.0, lambda: None)
     sim.run()
     assert sim.processed_events == 2
+
+
+# ----------------------------------------------------------------------
+# end-of-instant hooks (the frame-coalescing flush boundary)
+# ----------------------------------------------------------------------
+def test_instant_hook_runs_after_now_queue_before_time_advances(
+        sim: Simulator):
+    order = []
+    sim.schedule_callback(0.0, order.append, "entry-1")
+    sim.at_instant_end(lambda: order.append(("hook", sim.now)))
+    sim.schedule_callback(0.0, order.append, "entry-2")
+    sim.schedule_callback(5.0, order.append, "future")
+    sim.run()
+    assert order == ["entry-1", "entry-2", ("hook", 0.0), "future"]
+
+
+def test_instant_hook_runs_after_same_time_heap_entries(sim: Simulator):
+    """Heap entries at the hook's instant are part of the instant: the
+    hook must wait for them even though they arrived via the heap."""
+    order = []
+
+    def at_five() -> None:
+        order.append("first")
+        sim.at_instant_end(lambda: order.append(("hook", sim.now)))
+    sim.schedule_callback(5.0, at_five)
+    sim.schedule_callback(5.0, order.append, "second")
+    sim.schedule_callback(6.0, order.append, "later")
+    sim.run()
+    assert order == ["first", "second", ("hook", 5.0), "later"]
+
+
+def test_instant_hook_chains_drain_before_time_moves(sim: Simulator):
+    """A hook may enqueue same-instant work and further hooks; all of
+    it runs before the clock advances."""
+    order = []
+
+    def hook_one() -> None:
+        order.append("hook-one")
+        sim.schedule_callback(0.0, order.append, "spawned-entry")
+        sim.at_instant_end(lambda: order.append("hook-two"))
+    sim.at_instant_end(hook_one)
+    sim.schedule_callback(3.0, order.append, "future")
+    sim.run()
+    assert order == ["hook-one", "spawned-entry", "hook-two", "future"]
+
+
+def test_instant_hooks_carry_args_and_do_not_count_as_events(
+        sim: Simulator):
+    seen = []
+    sim.at_instant_end(seen.append, "x")
+    sim.schedule_callback(0.0, lambda: None)
+    sim.run()
+    assert seen == ["x"]
+    assert sim.processed_events == 1  # the callback only, not the hook
+
+
+def test_step_drains_instant_hooks(sim: Simulator):
+    order = []
+    sim.at_instant_end(order.append, "hook")
+    sim.schedule_callback(1.0, order.append, "entry")
+    while sim.step():
+        pass
+    assert order == ["hook", "entry"]
+
+
+def test_run_until_deadline_flushes_hooks_at_deadline(sim: Simulator):
+    order = []
+    sim.schedule_callback(5.0,
+                          lambda: sim.at_instant_end(order.append, "hook"))
+    sim.run(until=5.0)
+    assert order == ["hook"]
+    assert sim.now == 5.0
+
+
+def test_max_steps_catches_self_rearming_instant_hook(sim: Simulator):
+    """End-of-instant hooks consume max_steps budget: a hook that keeps
+    re-arming itself must trip the runaway backstop, not hang run()."""
+    def rearm() -> None:
+        sim.at_instant_end(rearm)
+    sim.at_instant_end(rearm)
+    with pytest.raises(RuntimeError, match="max_steps"):
+        sim.run(max_steps=100)
+    assert sim.processed_events == 0  # hooks never count as events

@@ -14,16 +14,19 @@ _spec.loader.exec_module(bench_compare)
 
 
 def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
-             fig6=170_000, speedup=3.8) -> dict:
+             fig6=170_000, speedup=3.8, fig6_coalesced=170_000,
+             messages_per_update=2.3) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
                        "schedule_dispatch_events_per_sec": dispatch // 2},
         "witness": {"records_per_sec": records},
         "rpc": {"roundtrips_per_sec": rpc,
-                "roundtrips_per_sec_yield": rpc * 3 // 4},
+                "roundtrips_per_sec_yield": rpc * 3 // 4,
+                "messages_per_update": messages_per_update},
         "fig6_smoke": {"events_per_sec": fig6,
                        "ops_per_sec": 5_500},
+        "fig6_smoke_coalesced": {"events_per_sec": fig6_coalesced},
     }
 
 
@@ -91,13 +94,45 @@ def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 5  # every gated metric uncomparable
+    assert len(failures) == 7  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
     assert gated["dispatch speedup vs legacy"]["status"] == "MISSING"
     assert gated["rpc roundtrips/s"]["status"] == "MISSING"
     assert gated["fig6 smoke events/s"]["status"] == "MISSING"
+    assert gated["fig6 smoke events/s (coalesced)"]["status"] == "MISSING"
+    assert gated["rpc messages/update (coalesced)"]["status"] == "MISSING"
+
+
+# ----------------------------------------------------------------------
+# ISSUE 4: the coalesced smoke + the lower-is-better message floor
+# ----------------------------------------------------------------------
+def test_coalesced_fig6_smoke_regression_gates():
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(fig6_coalesced=100_000), threshold=0.25)
+    assert len(failures) == 1
+    assert "fig6 smoke events/s (coalesced)" in failures[0]
+
+
+def test_messages_per_update_rise_fails_the_gate():
+    """messages/update is lower-is-better: a rise past the threshold
+    (frames silently not coalescing any more) must fail."""
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(messages_per_update=8.2), threshold=0.25)
+    assert len(failures) == 1
+    assert "rpc messages/update (coalesced)" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    row = gated["rpc messages/update (coalesced)"]
+    assert row["status"] == "REGRESSION"
+    assert row["delta"] > 0.25
+
+
+def test_messages_per_update_drop_passes():
+    """Falling below the baseline is an improvement, not a regression."""
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(messages_per_update=1.1), threshold=0.25)
+    assert failures == []
 
 
 def test_machine_independent_ratio_gates_too():

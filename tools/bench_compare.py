@@ -8,13 +8,16 @@ Usage (from the repository root)::
         [--summary $GITHUB_STEP_SUMMARY]
 
 The CI perf gate: fails (exit 1) when a **gated** metric — event-loop
-dispatch events/s, witness-cache records/s, RPC round-trips/s, or the
-Figure 6 smoke events/s — regresses by more than ``threshold``
-(default 25%, tolerant of shared-runner noise).  Every
-other shared metric is reported informationally.  The delta table is
-printed to stdout and, when ``--summary`` (or the
-``GITHUB_STEP_SUMMARY`` environment variable) names a file, appended
-there as Markdown for the job summary.
+dispatch events/s, witness-cache records/s, RPC round-trips/s, the
+Figure 6 smoke events/s (plain and frame-coalesced) — regresses by
+more than ``threshold`` (default 25%, tolerant of shared-runner
+noise).  ``rpc.messages_per_update`` gates in the opposite direction:
+it is a lower-is-better count (the ISSUE 4 per-message floor), so the
+gate fails when it *rises* past the threshold.  Every other shared
+metric is reported informationally.  The delta table is printed to
+stdout and, when ``--summary`` (or the ``GITHUB_STEP_SUMMARY``
+environment variable) names a file, appended there as Markdown for
+the job summary.
 
 To move the baseline intentionally, re-run ``tools/bench_snapshot.py``
 on a quiet machine and commit the refreshed ``BENCH_core.json``.
@@ -41,6 +44,18 @@ GATED_METRICS = (
     # microbenches
     ("rpc roundtrips/s", ("rpc", "roundtrips_per_sec")),
     ("fig6 smoke events/s", ("fig6_smoke", "events_per_sec")),
+    # ISSUE 4: the coalesced smoke gates the frame layer's overhead on
+    # non-batched (closed-loop) traffic
+    ("fig6 smoke events/s (coalesced)",
+     ("fig6_smoke_coalesced", "events_per_sec")),
+)
+
+#: gated metrics where *lower* is better: the gate fails when the
+#: candidate rises more than the threshold above the baseline
+GATED_METRICS_LOWER = (
+    # ISSUE 4: wire transmissions per committed update, f = 3
+    # pipelined with frames on (acceptance target ≤ 4, from ~8)
+    ("rpc messages/update (coalesced)", ("rpc", "messages_per_update")),
 )
 
 #: reported but never failing (wall-clock sensitive or informational)
@@ -51,6 +66,12 @@ INFO_METRICS = (
     ("fig6 smoke ops/s", ("fig6_smoke", "ops_per_sec")),
     ("curp op path f=3 ops/s", ("curp_op_path", "f3", "ops_per_sec")),
     ("curp op path f=3 speedup", ("curp_op_path", "f3", "speedup")),
+    ("curp op path f=3 msgs/update",
+     ("curp_op_path", "f3", "messages_per_update")),
+    ("frame msgs/update f=3 (off)",
+     ("frame_coalescing", "f3_spread", "messages_per_update_off")),
+    ("frame message reduction f=3",
+     ("frame_coalescing", "f3_spread", "message_reduction")),
     ("scaleout 4-shard speedup", ("scaleout", "speedup_4_shards_vs_1")),
     ("scaleout gc rpc reduction", ("scaleout", "gc_rpc_reduction")),
 )
@@ -71,7 +92,10 @@ def compare(baseline: dict, candidate: dict,
     """Build delta rows; returns (rows, gate failure messages)."""
     rows = []
     failures = []
-    for gated, metrics in ((True, GATED_METRICS), (False, INFO_METRICS)):
+    groups = ((True, False, GATED_METRICS),
+              (True, True, GATED_METRICS_LOWER),
+              (False, False, INFO_METRICS))
+    for gated, lower_is_better, metrics in groups:
         for name, path in metrics:
             base = lookup(baseline, path)
             cand = lookup(candidate, path)
@@ -79,13 +103,17 @@ def compare(baseline: dict, candidate: dict,
                    "gated": gated, "delta": None, "status": "n/a"}
             if base and cand is not None:
                 row["delta"] = (cand - base) / base
+                regressed = (row["delta"] > threshold if lower_is_better
+                             else row["delta"] < -threshold)
                 if not gated:
                     row["status"] = "info"
-                elif row["delta"] < -threshold:
+                elif regressed:
                     row["status"] = "REGRESSION"
+                    sign = "+" if lower_is_better else "-"
                     failures.append(
-                        f"{name}: {base:,.0f} -> {cand:,.0f} "
-                        f"({row['delta']:+.1%}, threshold -{threshold:.0%})")
+                        f"{name}: {base:,.2f} -> {cand:,.2f} "
+                        f"({row['delta']:+.1%}, threshold "
+                        f"{sign}{threshold:.0%})")
                 else:
                     row["status"] = "ok"
             elif gated:
@@ -114,8 +142,9 @@ def format_markdown(rows: list[dict], threshold: float) -> str:
         "### Perf gate: BENCH_core.json vs baseline",
         "",
         f"Gate: dispatch events/s, witness records/s, rpc roundtrips/s "
-        f"and fig6 smoke events/s must not drop more than "
-        f"{threshold:.0%}.",
+        f"and fig6 smoke events/s (plain + coalesced) must not drop "
+        f"more than {threshold:.0%}; rpc messages/update must not "
+        f"*rise* more than {threshold:.0%}.",
         "",
         "| metric | baseline | candidate | delta | status |",
         "| --- | ---: | ---: | ---: | --- |",

@@ -22,7 +22,14 @@ Measures, in wall-clock terms:
   legacy completion, from ``benchmarks/bench_curp_op_path.py``;
 - a ``scaleout`` series: aggregate virtual-time throughput at 1/2/4
   shards plus the batched-gc RPC reduction (ISSUE 2 acceptance
-  numbers), from ``benchmarks/bench_scaleout_shards.py``.
+  numbers), from ``benchmarks/bench_scaleout_shards.py``;
+- a ``frame_coalescing`` series (ISSUE 4): messages-per-update with
+  NIC frames on/off at f ∈ {1, 3}, colocated vs spread witnesses,
+  from ``benchmarks/bench_frame_coalescing.py`` — the coalesced f=3
+  number is also recorded as ``rpc.messages_per_update`` and gated
+  lower-is-better; ``fig6_smoke_coalesced`` re-runs the Figure 6
+  smoke with frames on to gate the flag's overhead on non-batched
+  traffic.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -100,7 +107,7 @@ def _scaleout() -> dict:
     }
 
 
-def _fig6_smoke() -> dict:
+def _fig6_smoke(frame_coalescing: bool = False) -> dict:
     """One Figure 6-shaped closed loop in the hot-path configuration
     (``fast_completion=True`` — the callback completion model).
 
@@ -109,6 +116,12 @@ def _fig6_smoke() -> dict:
     need, so wall-clock halving shows up in ``seconds`` and
     ``ops_per_sec`` while events/s moves much less.  The metric is kept
     (and CI-gated) because it still catches per-entry cost regressions.
+
+    ``frame_coalescing=True`` runs the identical workload with the
+    ISSUE 4 frame layer on: a closed loop offers almost nothing to
+    coalesce, so this variant gates the flag's *overhead* on
+    non-batched traffic (the coalescing *win* is gated through
+    ``rpc.messages_per_update`` from the pipelined bench).
     """
     import dataclasses
 
@@ -120,7 +133,8 @@ def _fig6_smoke() -> dict:
 
     import gc
 
-    config = dataclasses.replace(curp_config(3), fast_completion=True)
+    config = dataclasses.replace(curp_config(3), fast_completion=True,
+                                 frame_coalescing=frame_coalescing)
     gc.collect()
     started = time.perf_counter()
     cluster = build_cluster(config, profile=RAMCLOUD_PROFILE, seed=2)
@@ -134,6 +148,18 @@ def _fig6_smoke() -> dict:
         "virtual_events": cluster.sim.processed_events,
         "events_per_sec": round(cluster.sim.processed_events / elapsed),
     }
+
+
+def _frame_coalescing(scale: float) -> dict:
+    """The ISSUE 4 series: messages-per-update with frames on/off at
+    f ∈ {1, 3}, colocated vs spread witnesses, from
+    ``benchmarks/bench_frame_coalescing.py``."""
+    from benchmarks.bench_frame_coalescing import coalescing_series
+
+    started = time.perf_counter()
+    series = coalescing_series(scale=scale)
+    series["seconds"] = round(time.perf_counter() - started, 3)
+    return series
 
 
 def _curp_op_path(scale: float) -> dict:
@@ -160,6 +186,8 @@ def snapshot(scale: float = 1.0) -> dict:
     full_legacy = _best_rate(
         lambda: schedule_and_drain(LegacySimulator, n_events=n_events))
 
+    frame_series = _frame_coalescing(scale)
+
     return {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
@@ -179,6 +207,11 @@ def snapshot(scale: float = 1.0) -> dict:
                 _best_rate(lambda: rpc_roundtrips(n_calls=n_calls))),
             "roundtrips_per_sec_yield": round(
                 _best_rate(lambda: rpc_roundtrips_yield(n_calls=n_calls))),
+            # The ISSUE 4 floor: wire transmissions per committed
+            # update, f = 3 pipelined with frames on (gated as a
+            # lower-is-better metric; acceptance target ≤ 4).
+            "messages_per_update": frame_series["f3_spread"][
+                "messages_per_update"],
         },
         "witness": {
             "records_per_sec": round(
@@ -186,6 +219,8 @@ def snapshot(scale: float = 1.0) -> dict:
             "paper_target_records_per_sec": 1_270_000,
         },
         "fig6_smoke": _fig6_smoke(),
+        "fig6_smoke_coalesced": _fig6_smoke(frame_coalescing=True),
+        "frame_coalescing": frame_series,
         "curp_op_path": _curp_op_path(scale),
         "scaleout": _scaleout(),
     }
