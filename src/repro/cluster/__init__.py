@@ -13,6 +13,11 @@ package is that manager:
 - :class:`~repro.cluster.shard_map.ShardMap` — immutable, sorted
   key-hash → tablet → master routing snapshot for sharded multi-master
   clusters; clients cache it and bisect instead of scanning tablets.
+- :class:`~repro.cluster.rebalancer.Rebalancer` — load-driven tablet
+  splitting/rebalancing: pulls per-tablet load windows from masters,
+  splits hot tablets at a load-weighted hash point and drives
+  ``Coordinator.migrate`` so skewed (Zipfian) traffic cannot pin one
+  master.
 
 The coordinator itself runs on a single host here; the paper assumes it
 is made fault tolerant with a consensus protocol (see
@@ -21,6 +26,8 @@ is made fault tolerant with a consensus protocol (see
 
 from repro.cluster.coordinator import Coordinator
 from repro.cluster.failure_detector import FailureDetector
+from repro.cluster.rebalancer import Rebalancer, RebalancerStats
 from repro.cluster.shard_map import ShardMap
 
-__all__ = ["Coordinator", "FailureDetector", "ShardMap"]
+__all__ = ["Coordinator", "FailureDetector", "Rebalancer",
+           "RebalancerStats", "ShardMap"]

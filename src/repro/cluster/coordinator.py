@@ -19,7 +19,12 @@ import typing
 
 from repro.core.config import CurpConfig
 from repro.core.master import CurpMaster, FULL_RANGE
-from repro.core.messages import ClusterView, MasterInfo, StartArgs
+from repro.core.messages import (
+    ClusterView,
+    MasterInfo,
+    SetRangesArgs,
+    StartArgs,
+)
 from repro.core.recovery import RecoveryFailed, build_recovery_master, recover
 from repro.core.witness import WitnessEndpoint, WitnessServer
 from repro.cluster.shard_map import ShardMap
@@ -144,7 +149,7 @@ class Coordinator:
             if endpoint is not None:
                 # Multi-tenant endpoint: this master becomes one more
                 # tenant behind the host's existing rx handler.
-                endpoint.serve(master_id)
+                endpoint.serve(master_id, tuple(owned_ranges))
                 continue
             server = self.witness_servers.get(witness_host.name)
             if server is None:
@@ -157,7 +162,7 @@ class Coordinator:
                     record_time=witness_record_time,
                     transport=transports.get(witness_host.name))
                 self.witness_servers[witness_host.name] = server
-            server.start_for(master_id)
+            server.start_for(master_id, tuple(owned_ranges))
             if witness_host.name in transports:
                 # Colocated with this master's backup (Figure 2): let
                 # replicate RPCs carry merged gc batches to the witness
@@ -260,12 +265,15 @@ class Coordinator:
             # clients then use the remaining ones; replace_witness
             # restores full strength later).  An empty list is safe:
             # clients fall back to the 2-RTT sync path.
+            started_ranges = tuple(managed.owned_ranges)
             if self.config.uses_witnesses:
                 live_witnesses = []
                 for witness in managed.witnesses:
                     try:
                         yield self.transport.call(
-                            witness, "start", StartArgs(master_id=master_id),
+                            witness, "start",
+                            StartArgs(master_id=master_id,
+                                      owned_ranges=started_ranges),
                             timeout=rpc_timeout)
                         live_witnesses.append(witness)
                     except RpcError:
@@ -274,8 +282,23 @@ class Coordinator:
                 managed.witness_list_version += 1
             new_master.witnesses = list(managed.witnesses)
             new_master.witness_list_version = managed.witness_list_version
-            # 5. Go live.
+            # 5. Go live.  Re-read the tablet bookkeeping first: a
+            # migration that completed *during* this recovery already
+            # moved ranges, and an activation with the stale pre-crash
+            # list would let this master accept keys another master now
+            # owns (split brain for stale-map clients).  If the ranges
+            # did move since the witnesses were started, re-assert the
+            # fresh snapshot on them too — they were started with
+            # ``started_ranges`` and would otherwise filter records
+            # against stale ownership forever.
+            new_master.owned_ranges = list(managed.owned_ranges)
             new_master.active = True
+            if (self.config.uses_witnesses
+                    and tuple(managed.owned_ranges) != started_ranges):
+                yield from self._set_witness_ranges(
+                    managed.witnesses, master_id,
+                    tuple(managed.owned_ranges), rpc_timeout,
+                    best_effort=True)
             managed.host = new_host.name
             managed.master = new_master
             self.config_version += 1
@@ -315,7 +338,9 @@ class Coordinator:
         if new_witness_host.name not in self.witness_servers:
             self.add_witness_host(new_witness_host)
         yield from self._call_until_ok(
-            new_witness_host.name, "start", StartArgs(master_id=master_id),
+            new_witness_host.name, "start",
+            StartArgs(master_id=master_id,
+                      owned_ranges=tuple(managed.owned_ranges)),
             rpc_timeout)
         new_list = [new_witness_host.name if w == dead_witness else w
                     for w in managed.witnesses]
@@ -355,50 +380,183 @@ class Coordinator:
                 lo: int, hi: int, rpc_timeout: float = 2_000.0):
         """Generator: move key-hash range [lo, hi) between masters.
 
-        Per §3.6 the source syncs and resets its witnesses before the
-        final step, so witnesses are entirely out of the migration
-        protocol; stale records for migrated keys are filtered during
-        any later replay by the ownership check.
+        Per §3.6 the source syncs before the final step; stale records
+        for migrated keys are filtered during any later replay by the
+        ownership check.  The source's witnesses keep their caches
+        through the move — clearing them in place (the old protocol)
+        opened a crash window where a speculative update acknowledged
+        just before the clear lost its only trace — and only their
+        *version* advances, forcing stale clients through the refresh
+        path.  After cutover the witnesses on both sides learn the new
+        ownership (``set_ranges``): the destination's accept the
+        migrated range, the source's reject new records for keys that
+        left and evict the old ones — safe, because ``migrate_out``
+        synced the source, so every completed update in the range is
+        already durable.
+
+        Master-addressed steps re-resolve ``managed.host`` per attempt,
+        so a source that crashes mid-migration and recovers onto a new
+        host lets the retry loop converge instead of hammering the dead
+        address until :class:`RecoveryFailed`.
         """
         src = self.masters[src_master_id]
         dst = self.masters[dst_master_id]
-        # Reset the source's witnesses (sync happens inside the master's
-        # update_witness_config handler before it acknowledges).
-        if self.config.uses_witnesses:
-            for witness in src.witnesses:
+        # An abort anywhere before cutover rolls back (best effort —
+        # stale-suspect aging reclaims whatever a crashed witness
+        # misses, and a crashed source recovers with the coordinator's
+        # unsubtracted bookkeeping): the destination's witnesses are
+        # narrowed back, and if the source already executed
+        # migrate_out, the range is handed straight back to it so
+        # [lo, hi) can never end up owned by nobody.
+        objects = None
+        try:
+            # Widen the destination's witnesses *first*: a record for
+            # the migrating range arriving there early is harmless (the
+            # dst master still answers WRONG_SHARD until cutover, so
+            # nothing can complete through it), but rejecting records
+            # after cutover because the witnesses lag would break the
+            # 1-RTT path.
+            if self.config.uses_witnesses:
+                yield from self._set_witness_ranges(
+                    dst.witnesses, dst_master_id,
+                    tuple(dst.owned_ranges) + ((lo, hi),), rpc_timeout)
+            # Bump the source's witness-list version (same list, caches
+            # intact, witnesses_reset=False keeps the master's gc
+            # bookkeeping); the master syncs before acknowledging.
+            if self.config.uses_witnesses:
+                new_version = src.witness_list_version + 1
                 yield from self._call_until_ok(
-                    witness, "start", StartArgs(master_id=src_master_id),
-                    rpc_timeout)
-            new_version = src.witness_list_version + 1
+                    lambda: src.host, "update_witness_config",
+                    (tuple(src.witnesses), new_version, False), rpc_timeout)
+                src.witness_list_version = new_version
+            else:
+                yield from self._call_until_ok(lambda: src.host, "sync",
+                                               None, rpc_timeout)
+            # Final step: stop service on the range, move the objects.
+            objects = yield from self._call_until_ok(
+                lambda: src.host, "migrate_out", (lo, hi), rpc_timeout)
             yield from self._call_until_ok(
-                src.host, "update_witness_config",
-                (tuple(src.witnesses), new_version), rpc_timeout)
-            src.witness_list_version = new_version
-        else:
-            yield from self._call_until_ok(src.host, "sync", None, rpc_timeout)
-        # Final step: stop service on the range, move the objects.
-        objects = yield from self._call_until_ok(
-            src.host, "migrate_out", (lo, hi), rpc_timeout)
-        yield from self._call_until_ok(
-            dst.host, "migrate_in", (lo, hi, objects), rpc_timeout)
+                lambda: dst.host, "migrate_in", (lo, hi, objects),
+                rpc_timeout)
+        except Exception:
+            if objects is not None:
+                # migrate_out succeeded but the handover failed: the
+                # source subtracted the range from its own ownership,
+                # and with the coordinator's map still routing there,
+                # clients would WRONG_SHARD-loop forever.  Re-own it on
+                # the source (idempotent migrate_in; the source still
+                # holds the objects), after asking a half-reached
+                # destination to relinquish any partial application.
+                try:
+                    yield from self._call_until_ok(
+                        lambda: dst.host, "migrate_out", (lo, hi),
+                        rpc_timeout, max_attempts=2)
+                except RecoveryFailed:
+                    pass  # unreachable dst — nothing applied to undo
+                try:
+                    yield from self._call_until_ok(
+                        lambda: src.host, "migrate_in", (lo, hi, objects),
+                        rpc_timeout, max_attempts=5)
+                except RecoveryFailed:
+                    pass  # source down too: recovery re-owns it anyway
+            if self.config.uses_witnesses:
+                yield from self._set_witness_ranges(
+                    dst.witnesses, dst_master_id,
+                    tuple(dst.owned_ranges), rpc_timeout, best_effort=True)
+            raise
         src.owned_ranges = _subtract(src.owned_ranges, (lo, hi))
-        dst.owned_ranges.append((lo, hi))
+        if (lo, hi) not in dst.owned_ranges:
+            dst.owned_ranges.append((lo, hi))
         self.config_version += 1
+        # Cutover done: shrink the source's witnesses to the new
+        # ownership, evicting stragglers recorded for migrated keys
+        # (safe: migrate_out synced the source, so every completed
+        # update in the range is durable) — and re-assert the
+        # destination's, healing any witness that restarted (and lost
+        # the pre-cutover widening) while the move was in flight.
+        if self.config.uses_witnesses:
+            yield from self._set_witness_ranges(
+                src.witnesses, src_master_id, tuple(src.owned_ranges),
+                rpc_timeout)
+            yield from self._set_witness_ranges(
+                dst.witnesses, dst_master_id, tuple(dst.owned_ranges),
+                rpc_timeout)
         return len(objects)
 
+    def _set_witness_ranges(self, witnesses, master_id: str,
+                            owned_ranges: tuple[tuple[int, int], ...],
+                            rpc_timeout: float,
+                            best_effort: bool = False):
+        """Generator: push an ownership snapshot to a witness list.
+        ``best_effort`` tries each witness once and swallows failures
+        (abort paths must not mask the original error)."""
+        args = SetRangesArgs(master_id=master_id, owned_ranges=owned_ranges)
+        for witness in witnesses:
+            if best_effort:
+                try:
+                    yield self.transport.call(witness, "set_ranges", args,
+                                              timeout=rpc_timeout)
+                except RpcError:
+                    continue
+            else:
+                yield from self._call_until_ok(witness, "set_ranges", args,
+                                               rpc_timeout)
+
     # ------------------------------------------------------------------
-    def _call_until_ok(self, dst: str, method: str, args,
+    # tablet splitting / merging (rebalancer bookkeeping)
+    # ------------------------------------------------------------------
+    def split_tablet(self, master_id: str, lo: int, hi: int, split: int,
+                     rpc_timeout: float = 2_000.0):
+        """Generator: split owned tablet [lo, hi) at ``split``.
+
+        Pure bookkeeping — ownership of every hash is unchanged, no
+        data moves, witnesses keep their ranges.  The split creates the
+        tablet boundary a subsequent :meth:`migrate` moves."""
+        managed = self.masters[master_id]
+        if (lo, hi) not in managed.owned_ranges:
+            raise ValueError(f"{master_id} does not own tablet "
+                             f"[{lo}, {hi})")
+        if not lo < split < hi:
+            raise ValueError(f"split {split} outside ({lo}, {hi})")
+        yield from self._call_until_ok(
+            lambda: managed.host, "split_range", (lo, hi, split),
+            rpc_timeout)
+        index = managed.owned_ranges.index((lo, hi))
+        managed.owned_ranges[index:index + 1] = [(lo, split), (split, hi)]
+        self.config_version += 1
+        return (lo, split), (split, hi)
+
+    def merge_tablets(self, master_id: str, rpc_timeout: float = 2_000.0):
+        """Generator: coalesce a master's adjacent owned tablets (the
+        inverse bookkeeping of split: long split/migrate histories must
+        not grow the tablet map without bound).  The map version only
+        moves when something actually coalesced."""
+        managed = self.masters[master_id]
+        before = sorted(managed.owned_ranges)
+        merged = yield from self._call_until_ok(
+            lambda: managed.host, "merge_ranges", None, rpc_timeout)
+        managed.owned_ranges = [tuple(r) for r in merged]
+        if managed.owned_ranges != before:
+            self.config_version += 1
+        return tuple(managed.owned_ranges)
+
+    # ------------------------------------------------------------------
+    def _call_until_ok(self, dst, method: str, args,
                        rpc_timeout: float, max_attempts: int = 20):
+        """``dst`` may be a host name or a zero-arg callable re-resolved
+        per attempt (a master that recovers onto a new host mid-retry
+        lets the loop converge on the new address)."""
         last: Exception | None = None
         for _ in range(max_attempts):
+            target = dst() if callable(dst) else dst
             try:
-                value = yield self.transport.call(dst, method, args,
+                value = yield self.transport.call(target, method, args,
                                                   timeout=rpc_timeout)
                 return value
             except RpcError as error:
                 last = error
                 yield self.sim.timeout(rpc_timeout / 4)
-        raise RecoveryFailed(f"{method} to {dst} kept failing: {last!r}")
+        raise RecoveryFailed(f"{method} to {target} kept failing: {last!r}")
 
 
 def _subtract(ranges: list[tuple[int, int]],

@@ -106,6 +106,21 @@ class CurpConfig:
     #: coalesced path is pinned by its own golden trace.
     frame_coalescing: bool = False
 
+    # -- load-driven tablet rebalancing (§3.6 migration, driven) --------
+    #: how often (µs) the coordinator's :class:`~repro.cluster.
+    #: rebalancer.Rebalancer` pulls per-tablet load reports from the
+    #: masters.  The loop only runs once ``Rebalancer.start()`` (or
+    #: ``Cluster.start_rebalancer()``) is called, so the default does
+    #: not change any existing trace; 0 disables the loop outright even
+    #: if started.
+    rebalance_interval: float = 500.0
+    #: imbalance trigger: a master is *hot* when its window load
+    #: exceeds ``rebalance_threshold`` × the mean master load
+    rebalance_threshold: float = 1.5
+    #: ignore report windows with fewer total ops than this (noise
+    #: floor — don't churn tablets on an idle cluster)
+    rebalance_min_ops: int = 100
+
     # -- client behaviour ------------------------------------------------
     #: per-RPC timeout for client operations
     rpc_timeout: float = 2_000.0
@@ -132,6 +147,13 @@ class CurpConfig:
             raise ValueError("gc_flush_delay must be > 0")
         if self.gc_piggyback and self.max_gc_batch == 0:
             raise ValueError("gc_piggyback requires max_gc_batch > 0")
+        if self.rebalance_interval < 0:
+            raise ValueError("rebalance_interval must be >= 0 (0 disables)")
+        if self.rebalance_threshold <= 1.0:
+            raise ValueError("rebalance_threshold must be > 1 (a master at "
+                             "exactly the mean is not hot)")
+        if self.rebalance_min_ops < 1:
+            raise ValueError("rebalance_min_ops must be >= 1")
         if self.mode is ReplicationMode.UNREPLICATED and self.f != 0:
             raise ValueError("unreplicated mode requires f=0")
 

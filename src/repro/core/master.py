@@ -36,6 +36,7 @@ from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.messages import (
     GcArgs,
     GcBatchArgs,
+    LoadReport,
     ReadArgs,
     RecordedRequest,
     UpdateArgs,
@@ -88,6 +89,11 @@ class MasterStats:
     stale_suspects_handled: int = 0
     duplicates_filtered: int = 0
     hot_key_syncs: int = 0
+    #: cumulative ops bucketed by owned tablet (lo, hi) — harvested from
+    #: the per-hash window whenever the coordinator pulls a load report
+    tablet_ops: dict = dataclasses.field(default_factory=dict)
+    #: load-report windows served to the coordinator's rebalancer
+    load_reports: int = 0
 
 
 class CurpMaster:
@@ -127,6 +133,10 @@ class CurpMaster:
                                             name=f"{master_id}-workers")
         self.stats = MasterStats()
 
+        #: per-key-hash op counts for the current load-report window
+        #: (pure bookkeeping: no events, so golden traces are unchanged)
+        self._load_by_hash: dict[int, int] = {}
+
         self._sync_active = False
         self._flush_armed = False
         #: (target position, event) pairs awaiting a sync
@@ -152,6 +162,9 @@ class CurpMaster:
                                 self._handle_update_backup_config)
         self.transport.register("migrate_out", self._handle_migrate_out)
         self.transport.register("migrate_in", self._handle_migrate_in)
+        self.transport.register("load_report", self._handle_load_report)
+        self.transport.register("split_range", self._handle_split_range)
+        self.transport.register("merge_ranges", self._handle_merge_ranges)
         self.transport.register("ping", lambda args, ctx: "PONG")
         host.on_crash(self._on_crash)
 
@@ -204,6 +217,11 @@ class CurpMaster:
         if state is DuplicateState.STALE:
             # The client already acknowledged this RPC; §4.8 says ignore.
             raise AppError("STALE_RPC", {"rpc_id": str(args.rpc_id)})
+        # Per-tablet load accounting (rebalancer input): counters only,
+        # no events — virtual-time behaviour is untouched.
+        load = self._load_by_hash
+        for h in op.key_hashes():
+            load[h] = load.get(h, 0) + 1
         if self.config.fast_completion:
             # Callback fast path: no generator process per update.
             self._update_begin(op, args.rpc_id, ctx)
@@ -407,6 +425,8 @@ class CurpMaster:
         self._check_serviceable()
         if not self.owns_all((args.key,)):
             raise AppError("WRONG_SHARD", {"master": self.master_id})
+        h = key_hash(args.key)
+        self._load_by_hash[h] = self._load_by_hash.get(h, 0) + 1
         if self.config.fast_completion:
             self._read_begin(args, ctx)
             return RpcTransport.DEFERRED
@@ -921,15 +941,24 @@ class CurpMaster:
     def _handle_update_witness_config(self, args, ctx):
         """Coordinator installed a new witness list: sync first so the
         requests recorded only on the old witnesses are durable, then
-        adopt the new list and version."""
-        witnesses, version = args
+        adopt the new list and version.
+
+        ``args`` is ``(witnesses, version)`` or ``(witnesses, version,
+        witnesses_reset)``.  ``witnesses_reset=False`` (migration: the
+        same witnesses continue with their caches intact, only the
+        version moves) keeps the pending-gc bookkeeping — their slots
+        still exist and still need collecting.  The default ``True``
+        matches witness *replacement*, where the old slots are gone."""
+        witnesses, version, *rest = args
+        witnesses_reset = rest[0] if rest else True
         def work():
             yield self._request_sync(self.store.log.end)
             self.witnesses = list(witnesses)
             self.witness_list_version = version
-            self._pending_gc.clear()  # old witnesses' slots are gone
-            self._gc_ready.clear()
-            self._gc_rounds_pending = 0
+            if witnesses_reset:
+                self._pending_gc.clear()  # old witnesses' slots are gone
+                self._gc_ready.clear()
+                self._gc_rounds_pending = 0
             return "OK"
         return work()
 
@@ -980,10 +1009,75 @@ class CurpMaster:
         def work():
             for key, value, version in objects:
                 self.store.install(key, value, version, now=self.sim.now)
-            self.owned_ranges.append((lo, hi))
+            if (lo, hi) not in self.owned_ranges:
+                # Idempotent: a coordinator retry after a lost reply
+                # must not create a duplicate tablet (the shard map
+                # rejects overlapping tablets).
+                self.owned_ranges.append((lo, hi))
             yield self._request_sync(self.store.log.end)
             return "OK"
         return work()
+
+    # ------------------------------------------------------------------
+    # load accounting + tablet bookkeeping (rebalancer-facing)
+    # ------------------------------------------------------------------
+    def _handle_load_report(self, args, ctx) -> LoadReport:
+        """One load window: per-tablet totals + the per-hash histogram
+        the rebalancer splits on.  Pulling the report resets the window
+        (and folds it into the cumulative ``stats.tablet_ops``).
+
+        The reset is deliberate even though the reply might be lost in
+        flight: load windows are advisory, and a hot master that loses
+        one report re-accumulates from live traffic within a single
+        ``rebalance_interval`` — the rebalancer just acts one round
+        later.  Acknowledged-delivery bookkeeping would buy nothing
+        but complexity here."""
+        window, self._load_by_hash = self._load_by_hash, {}
+        per_tablet = {tablet: 0 for tablet in self.owned_ranges}
+        hash_ops = []
+        total = 0
+        for key_hash_value, count in sorted(window.items()):
+            for tablet in self.owned_ranges:
+                if tablet[0] <= key_hash_value < tablet[1]:
+                    per_tablet[tablet] += count
+                    hash_ops.append((key_hash_value, count))
+                    total += count
+                    break
+            # hashes outside every owned range (just migrated out) are
+            # dropped: they are the new owner's load now
+        for tablet, count in per_tablet.items():
+            self.stats.tablet_ops[tablet] = (
+                self.stats.tablet_ops.get(tablet, 0) + count)
+        self.stats.load_reports += 1
+        return LoadReport(master_id=self.master_id,
+                          tablet_ops=tuple(per_tablet.items()),
+                          hash_ops=tuple(hash_ops),
+                          window_ops=total)
+
+    def _handle_split_range(self, args, ctx) -> str:
+        """Split owned tablet [lo, hi) at ``split`` (pure bookkeeping:
+        ownership of every hash is unchanged, so no data moves and no
+        sync is needed — the split only creates the boundary a
+        subsequent ``migrate_out`` cuts along)."""
+        lo, hi, split = args
+        if (lo, hi) not in self.owned_ranges:
+            if ((lo, split) in self.owned_ranges
+                    and (split, hi) in self.owned_ranges):
+                return "OK"  # idempotent coordinator retry
+            raise AppError("BAD_SPLIT", {"range": (lo, hi),
+                                         "owned": tuple(self.owned_ranges)})
+        if not lo < split < hi:
+            raise AppError("BAD_SPLIT", {"range": (lo, hi), "split": split})
+        index = self.owned_ranges.index((lo, hi))
+        self.owned_ranges[index:index + 1] = [(lo, split), (split, hi)]
+        return "OK"
+
+    def _handle_merge_ranges(self, args, ctx) -> tuple[tuple[int, int], ...]:
+        """Coalesce adjacent owned ranges (the inverse bookkeeping of
+        split; keeps long split/migrate histories from growing the
+        ownership list without bound)."""
+        self.owned_ranges = _coalesce_ranges(self.owned_ranges)
+        return tuple(self.owned_ranges)
 
     # ------------------------------------------------------------------
     # lease expiry (§4.8 modification 2)
@@ -1024,6 +1118,18 @@ class CurpMaster:
     @property
     def unsynced_count(self) -> int:
         return self.store.log.end - self.synced_position
+
+
+def _coalesce_ranges(ranges: typing.Sequence[tuple[int, int]]
+                     ) -> list[tuple[int, int]]:
+    """Sort [lo, hi) ranges and merge the adjacent/overlapping ones."""
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(ranges):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
 
 
 def _subtract_range(ranges: list[tuple[int, int]],

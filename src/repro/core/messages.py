@@ -102,6 +102,44 @@ class GetRecoveryDataArgs:
 @dataclasses.dataclass(frozen=True)
 class StartArgs:
     master_id: str
+    #: the master's owned key-hash ranges at start time.  A witness that
+    #: knows them rejects records for keys the master does not own (a
+    #: stale-routed client mid-migration, §3.6) instead of silently
+    #: pinning a slot no gc path can reach.  ``None`` = no filtering
+    #: (hand-built unit-test witnesses keep accepting everything).
+    owned_ranges: tuple[tuple[int, int], ...] | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SetRangesArgs:
+    """Coordinator → witness: the master's ownership changed (migration
+    cutover, tablet split).  Unlike ``start`` this does *not* clear the
+    cache: records for still-owned keys stay; records whose key hash
+    left the master's ranges are evicted — they are safe to drop
+    because the migration protocol syncs the source before cutover, so
+    every completed update in the migrated range is already durable."""
+
+    master_id: str
+    owned_ranges: tuple[tuple[int, int], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """Master → coordinator reply: one load-accounting window.
+
+    ``tablet_ops`` buckets the window's operations by the master's
+    owned tablets; ``hash_ops`` is the per-key-hash histogram the
+    rebalancer uses to pick a weighted split point.  The window resets
+    when the report is pulled, so consecutive reports measure disjoint
+    intervals."""
+
+    master_id: str
+    #: ((lo, hi), ops) per owned tablet, this window
+    tablet_ops: tuple[tuple[tuple[int, int], int], ...]
+    #: (key_hash, ops) histogram for the window, sorted by hash
+    hash_ops: tuple[tuple[int, int], ...]
+    #: total operations serviced this window
+    window_ops: int
 
 
 @dataclasses.dataclass(frozen=True)

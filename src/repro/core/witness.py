@@ -50,6 +50,7 @@ from repro.core.messages import (
     RECORD_ACCEPTED,
     RECORD_REJECTED,
     RecordArgs,
+    SetRangesArgs,
     StartArgs,
 )
 from repro.core.witness_cache import WitnessCache
@@ -75,6 +76,7 @@ _WITNESS_RPC_HANDLERS: tuple[tuple[str, str], ...] = (
     ("get_recovery_data", "_handle_recovery_data"),
     ("probe", "_handle_probe"),
     ("start", "_handle_start"),
+    ("set_ranges", "_handle_set_ranges"),
     ("end", "_handle_end"),
 )
 
@@ -109,6 +111,13 @@ class WitnessServer:
         self.sim = host.sim
         self.mode = MODE_UNCONFIGURED
         self.master_id: str | None = None
+        #: the served master's owned key-hash ranges, when known: records
+        #: for hashes outside them are rejected (a stale-routed client
+        #: racing a migration, §3.6).  None = accept any hash.
+        self.owned_ranges: tuple[tuple[int, int], ...] | None = None
+        #: records evicted because their key hash left the master's
+        #: ownership (set_ranges at migration cutover)
+        self.records_evicted = 0
         self.cache = WitnessCache(slots=slots, associativity=associativity,
                                   stale_threshold=stale_threshold)
         #: CPU time to process one record RPC (profiles; §5.2 measures
@@ -158,6 +167,14 @@ class WitnessServer:
         if self.mode != MODE_NORMAL or args.master_id != self.master_id:
             # Wrong master, decommissioned, or frozen for recovery: the
             # client cannot complete in 1 RTT through this witness.
+            return RECORD_REJECTED
+        ranges = self.owned_ranges
+        if ranges is not None and not all(
+                any(lo <= h < hi for lo, hi in ranges)
+                for h in args.key_hashes):
+            # The key migrated away from this witness's master: the op
+            # can never complete here, and an accepted record would pin
+            # a slot the owning master's gc cycle can no longer reach.
             return RECORD_REJECTED
         accepted = self.cache.record(args.key_hashes, args.rpc_id, args.request)
         return RECORD_ACCEPTED if accepted else RECORD_REJECTED
@@ -221,19 +238,43 @@ class WitnessServer:
     # ------------------------------------------------------------------
     # coordinator-facing
     # ------------------------------------------------------------------
-    def start_for(self, master_id: str) -> None:
+    def start_for(self, master_id: str,
+                  owned_ranges: typing.Sequence[tuple[int, int]] | None = None,
+                  ) -> None:
         """Begin a fresh life for (possibly another) master."""
         self.master_id = master_id
         self.mode = MODE_NORMAL
+        self.owned_ranges = (None if owned_ranges is None
+                             else tuple(owned_ranges))
         self.cache.clear()
 
+    def set_ranges(self,
+                   owned_ranges: typing.Sequence[tuple[int, int]]) -> int:
+        """Adopt the master's post-reconfiguration ownership (§3.6
+        migration cutover / tablet split) *without* clearing the cache.
+
+        Records whose key hash left the ranges are evicted: the
+        migration synced the source before cutover, so every completed
+        update among them is already durable, and nothing that can
+        still complete is lost.  Returns the eviction count."""
+        self.owned_ranges = tuple(owned_ranges)
+        dropped = self.cache.drop_outside(self.owned_ranges)
+        self.records_evicted += dropped
+        return dropped
+
     def _handle_start(self, args: StartArgs, ctx):
-        self.start_for(args.master_id)
+        self.start_for(args.master_id, args.owned_ranges)
         return "SUCCESS"
+
+    def _handle_set_ranges(self, args: SetRangesArgs, ctx):
+        if self.mode != MODE_NORMAL or args.master_id != self.master_id:
+            raise AppError("WRONG_WITNESS_STATE", {"mode": self.mode})
+        return self.set_ranges(args.owned_ranges)
 
     def _handle_end(self, args, ctx):
         self.master_id = None
         self.mode = MODE_UNCONFIGURED
+        self.owned_ranges = None
         self.cache.clear()
         return None
 
@@ -292,7 +333,9 @@ class WitnessEndpoint:
     # ------------------------------------------------------------------
     # tenancy
     # ------------------------------------------------------------------
-    def serve(self, master_id: str) -> WitnessServer:
+    def serve(self, master_id: str,
+              owned_ranges: typing.Sequence[tuple[int, int]] | None = None,
+              ) -> WitnessServer:
         """Start (or restart, §3.6) serving ``master_id``'s witness set."""
         tenant = self.tenants.get(master_id)
         if tenant is None:
@@ -303,7 +346,7 @@ class WitnessEndpoint:
                 record_time=self.record_time, transport=self.transport,
                 register=False)
             self.tenants[master_id] = tenant
-        tenant.start_for(master_id)
+        tenant.start_for(master_id, owned_ranges)
         return tenant
 
     def _tenant(self, master_id: str) -> WitnessServer | None:
@@ -392,8 +435,16 @@ class WitnessEndpoint:
         return tenant._handle_recovery_data(args, ctx)
 
     def _handle_start(self, args: StartArgs, ctx):
-        self.serve(args.master_id)
+        self.serve(args.master_id, args.owned_ranges)
         return "SUCCESS"
+
+    def _handle_set_ranges(self, args: SetRangesArgs, ctx):
+        tenant = self.tenants.get(args.master_id)
+        if tenant is None:
+            raise AppError("WRONG_WITNESS_STATE",
+                           {"mode": MODE_UNCONFIGURED,
+                            "master": args.master_id})
+        return tenant._handle_set_ranges(args, ctx)
 
     def _handle_end(self, args, ctx):
         """Decommission one tenant (args carry a master_id) or, with

@@ -200,6 +200,30 @@ class WitnessCache:
         self._suspects.clear()
         return stale
 
+    def drop_outside(self, ranges: typing.Sequence[tuple[int, int]]) -> int:
+        """Evict every record whose key hash falls outside ``ranges``.
+
+        Used at migration cutover (§3.6): records for keys that left
+        the master's ownership can never be collected by that master's
+        sync+gc cycle, so they are dropped eagerly rather than pinning
+        slots until stale-suspect aging.  Returns the number of slots
+        freed.  Matching suspects are forgotten too — the master no
+        longer owns the key, so replaying them would be wrong.
+        """
+        dropped = 0
+        for set_index, index in enumerate(self._index):
+            doomed = [key_hash for key_hash in index
+                      if not any(lo <= key_hash < hi for lo, hi in ranges)]
+            row = self._sets[set_index]
+            for key_hash in doomed:
+                row[index.pop(key_hash)] = None
+                dropped += 1
+        if self._suspects:
+            for key in [key for key in self._suspects
+                        if not any(lo <= key[0] < hi for lo, hi in ranges)]:
+                del self._suspects[key]
+        return dropped
+
     # ------------------------------------------------------------------
     # recovery / lifecycle
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.cluster.coordinator import Coordinator
+from repro.cluster.rebalancer import Rebalancer
 from repro.core.client import CurpClient
 from repro.core.config import CurpConfig
 from repro.core.master import CurpMaster, MasterStats
@@ -31,6 +32,8 @@ class Cluster:
     backup_hosts: dict[str, list[str]]
     witness_hosts: dict[str, list[str]]
     clients: list[CurpClient]
+    #: the load-driven rebalancer, once started (None = static tablets)
+    rebalancer: "Rebalancer | None" = None
     _host_counter: int = 0
 
     # ------------------------------------------------------------------
@@ -59,9 +62,14 @@ class Cluster:
         for master_id in self.masters:
             stats = self.master(master_id).stats
             for field in dataclasses.fields(MasterStats):
-                setattr(total, field.name,
-                        getattr(total, field.name)
-                        + getattr(stats, field.name))
+                value = getattr(stats, field.name)
+                if isinstance(value, dict):
+                    merged = getattr(total, field.name)
+                    for key, count in value.items():
+                        merged[key] = merged.get(key, 0) + count
+                else:
+                    setattr(total, field.name,
+                            getattr(total, field.name) + value)
         return total
 
     def run(self, generator_or_event, timeout: float | None = None):
@@ -105,6 +113,22 @@ class Cluster:
     def settle(self, quiet: float = 5_000.0) -> None:
         """Run the simulator for a while (drain syncs, timers)."""
         self.sim.run(until=self.sim.now + quiet)
+
+    def start_rebalancer(self, **kwargs) -> "Rebalancer":
+        """Start the load-driven rebalancer loop on the coordinator.
+
+        Keyword arguments override the config's ``rebalance_*`` knobs
+        (``interval``, ``threshold``, ``min_ops``, ``rpc_timeout``).
+        Off by default: a cluster that never calls this keeps its
+        tablets static, which is what every pre-existing golden trace
+        pins."""
+        if self.rebalancer is not None and self.rebalancer.running:
+            raise RuntimeError("a rebalancer is already running on this "
+                               "cluster; stop() it before starting another")
+        rebalancer = Rebalancer(self.coordinator, **kwargs)
+        rebalancer.start()
+        self.rebalancer = rebalancer
+        return rebalancer
 
 
 def build_cluster(config: CurpConfig | None = None,

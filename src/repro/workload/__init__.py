@@ -16,18 +16,27 @@ generators from scratch:
 """
 
 from repro.workload.zipfian import ScrambledZipfian, UniformGenerator, ZipfianGenerator
-from repro.workload.ycsb import YCSB_A, YCSB_B, YCSB_WRITE_ONLY, YcsbWorkload
+from repro.workload.ycsb import (
+    YCSB_A,
+    YCSB_B,
+    YCSB_WRITE_ONLY,
+    YcsbWorkload,
+    shard_load_profile,
+)
 from repro.workload.clients import (
     ClosedLoopClient,
     PipelinedClient,
+    ShardLoad,
     run_closed_loop,
     run_pipelined_loop,
+    run_sharded_ycsb,
 )
 
 __all__ = [
     "ClosedLoopClient",
     "PipelinedClient",
     "ScrambledZipfian",
+    "ShardLoad",
     "UniformGenerator",
     "YCSB_A",
     "YCSB_B",
@@ -36,4 +45,6 @@ __all__ = [
     "ZipfianGenerator",
     "run_closed_loop",
     "run_pipelined_loop",
+    "run_sharded_ycsb",
+    "shard_load_profile",
 ]

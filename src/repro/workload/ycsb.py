@@ -70,6 +70,39 @@ def scaled(workload: YcsbWorkload, item_count: int) -> YcsbWorkload:
     return dataclasses.replace(workload, item_count=item_count)
 
 
+def shard_load_profile(workload: YcsbWorkload, shard_map) -> dict[str, float]:
+    """Expected fraction of operations each shard receives.
+
+    Closed-form, not sampled: walks every key's popularity under the
+    workload's distribution (the Gray/YCSB zipfian rank weights through
+    the scramble, or uniform), routes ``user{id}`` through the
+    :class:`~repro.cluster.shard_map.ShardMap` and accumulates.  This
+    is what makes the harness *shard-aware*: a skewed-workload bench
+    can report the offered per-shard load (what routing deals each
+    master) next to the measured per-shard throughput (what each
+    master kept up with), and a rebalancing run can verify the map
+    converged toward the profile's ideal.  O(item_count); keys routing
+    nowhere (a mid-migration gap) are accumulated under ``None``.
+    """
+    from repro.kvstore.hashing import _splitmix64, key_hash
+
+    n = workload.item_count
+    shares: dict[str, float] = {}
+    if workload.distribution == "uniform":
+        for item in range(n):
+            owner = shard_map.master_for_hash(key_hash(f"user{item}"))
+            shares[owner] = shares.get(owner, 0.0) + 1.0 / n
+        return shares
+    theta = workload.theta
+    zeta_n = sum(1.0 / (rank ** theta) for rank in range(1, n + 1))
+    for rank in range(1, n + 1):
+        item = _splitmix64(rank - 1) % n
+        owner = shard_map.master_for_hash(key_hash(f"user{item}"))
+        weight = (1.0 / rank ** theta) / zeta_n
+        shares[owner] = shares.get(owner, 0.0) + weight
+    return shares
+
+
 YCSB_A = YcsbWorkload(name="YCSB-A", read_fraction=0.5)
 YCSB_B = YcsbWorkload(name="YCSB-B", read_fraction=0.95)
 #: sequential-writer microbenchmark shape (Figures 5, 6, 12)

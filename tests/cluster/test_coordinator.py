@@ -3,6 +3,8 @@ migration, spares."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.harness import build_cluster
 from repro.kvstore import ConditionalWrite, Write, key_hash
@@ -157,6 +159,149 @@ def test_migration_resets_source_witnesses():
     assert witness.cache.occupied_slots() == 0
     assert cluster.coordinator.masters["m0"].witness_list_version == 1
     assert cluster.master("m0").unsynced_count == 0
+
+
+def test_post_cutover_record_for_migrated_key_rejected():
+    """ISSUE 5 regression: a witness record for a migrated key arriving
+    at the *old* shard's witness after cutover must be rejected — the
+    old master will never execute (so never gc) the op, and the key no
+    longer routes there (so the §4.5 suspect path cannot reclaim the
+    slot either).  Before the fix the record was silently accepted and
+    pinned a slot until stale aging."""
+    from repro.core.messages import RECORD_REJECTED, RecordArgs, \
+        RecordedRequest
+    cluster = build_cluster(CurpConfig(
+        f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+        idle_sync_delay=200.0, rpc_timeout=100.0), n_masters=2)
+    client = cluster.new_client()
+    key = next(f"key-{i}" for i in range(100)
+               if cluster.coordinator.current_view().master_for_hash(
+                   key_hash(f"key-{i}")) == "m0")
+    cluster.run(client.update(Write(key, 1)))
+    h = key_hash(key)
+    cluster.run(cluster.sim.process(
+        cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+        timeout=1_000_000.0)
+    witness_name = cluster.witness_hosts["m0"][0]
+    witness = cluster.coordinator.witness_servers[witness_name]
+    assert witness.cache.occupied_slots() == 0
+
+    # A stale-routed client's record for the migrated key lands on the
+    # old shard's witness after cutover.
+    op = Write(key, "stale-attempt")
+    record = RecordArgs(master_id="m0", key_hashes=(h,),
+                        rpc_id=("stale-client", 1),
+                        request=RecordedRequest(op=op,
+                                                rpc_id=("stale-client", 1)))
+
+    def stale_record():
+        result = yield cluster.coordinator.transport.call(
+            witness_name, "record", record, timeout=1_000.0)
+        return result
+    assert cluster.run(cluster.sim.process(stale_record())) \
+        == RECORD_REJECTED
+    assert witness.cache.occupied_slots() == 0
+    # Keys m0 still owns keep recording in 1 RTT.
+    other = next(f"other-{i}" for i in range(100)
+                 if cluster.shard_for(f"other-{i}") == "m0")
+    outcome = cluster.run(client.update(Write(other, 2)))
+    assert outcome.fast_path
+
+
+def test_set_ranges_evicts_stragglers_but_keeps_owned_records():
+    """The cutover set_ranges must evict records that slipped in for
+    migrated keys during the migration window — without clearing
+    records for keys the master keeps (those may still back completed
+    1-RTT updates)."""
+    from repro.core.messages import (
+        RECORD_ACCEPTED,
+        RecordArgs,
+        RecordedRequest,
+        SetRangesArgs,
+    )
+    cluster = curp_cluster()
+    witness_name = cluster.witness_hosts["m0"][0]
+    witness = cluster.coordinator.witness_servers[witness_name]
+    lo, hi = cluster.coordinator.masters["m0"].owned_ranges[0]
+    migrated_hash, kept_hash = lo + 5, lo + 9
+
+    def record(h, client_tag):
+        op = Write(f"k{h}", 1)
+        args = RecordArgs(master_id="m0", key_hashes=(h,),
+                          rpc_id=(client_tag, 1),
+                          request=RecordedRequest(op=op,
+                                                  rpc_id=(client_tag, 1)))
+        result = yield cluster.coordinator.transport.call(
+            witness_name, "record", args, timeout=1_000.0)
+        return result
+    assert cluster.run(cluster.sim.process(
+        record(migrated_hash, "c1"))) == RECORD_ACCEPTED
+    assert cluster.run(cluster.sim.process(
+        record(kept_hash, "c2"))) == RECORD_ACCEPTED
+    assert witness.cache.occupied_slots() == 2
+
+    # Cutover: [lo, lo+8) migrated away.
+    def shrink():
+        dropped = yield cluster.coordinator.transport.call(
+            witness_name, "set_ranges",
+            SetRangesArgs(master_id="m0", owned_ranges=((lo + 8, hi),)),
+            timeout=1_000.0)
+        return dropped
+    assert cluster.run(cluster.sim.process(shrink())) == 1
+    assert witness.cache.occupied_slots() == 1
+    assert witness.records_evicted == 1
+    assert witness.owned_ranges == ((lo + 8, hi),)
+
+
+def test_migrate_aborted_on_dead_destination_restores_source_ownership():
+    """If migrate_out succeeded but the destination never takes the
+    objects, the abort path must hand the range back to the source —
+    otherwise [lo, hi) is owned by nobody while the map still routes
+    there, and clients WRONG_SHARD-loop forever."""
+    from repro.core.recovery import RecoveryFailed
+    cluster = build_cluster(CurpConfig(
+        f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+        idle_sync_delay=200.0, rpc_timeout=100.0, retry_backoff=10.0),
+        n_masters=2)
+    client = cluster.new_client()
+    key = next(f"key-{i}" for i in range(100)
+               if cluster.shard_for(f"key-{i}") == "m0")
+    cluster.run(client.update(Write(key, 1)))
+    h = key_hash(key)
+    cluster.network.hosts[cluster.coordinator.masters["m1"].host].crash()
+    with pytest.raises(RecoveryFailed):
+        cluster.run(cluster.sim.process(
+            cluster.coordinator.migrate("m0", "m1", h, h + 1)),
+            timeout=50_000_000.0)
+    # The source still owns the range — coordinator bookkeeping, the
+    # live master, and the routing map all agree — and serves it.
+    assert cluster.shard_for(key) == "m0"
+    assert cluster.master("m0").owns_hash(h)
+    outcome = cluster.run(client.update(Write(key, 2)),
+                          timeout=10_000_000.0)
+    assert outcome is not None
+    assert cluster.run(client.read(key), timeout=10_000_000.0) == 2
+
+
+def test_migrate_in_is_idempotent_on_coordinator_retry():
+    """A lost migrate_in reply makes the coordinator re-send; the
+    destination must not grow a duplicate tablet (the shard map rejects
+    overlaps)."""
+    cluster = build_cluster(CurpConfig(
+        f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+        idle_sync_delay=200.0, rpc_timeout=100.0), n_masters=2)
+    master = cluster.master("m1")
+    lo, hi = cluster.coordinator.masters["m0"].owned_ranges[0]
+    cut_lo, cut_hi = lo + 100, lo + 200
+
+    def deliver_twice():
+        for _ in range(2):
+            result = yield cluster.coordinator.transport.call(
+                cluster.coordinator.masters["m1"].host, "migrate_in",
+                (cut_lo, cut_hi, ()), timeout=1_000.0)
+            assert result == "OK"
+    cluster.run(cluster.sim.process(deliver_twice()), timeout=1_000_000.0)
+    assert master.owned_ranges.count((cut_lo, cut_hi)) == 1
 
 
 def test_failure_detector_recovers_crashed_master():

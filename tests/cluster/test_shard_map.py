@@ -1,10 +1,14 @@
-"""ShardMap routing + client re-routing on a stale map (WRONG_SHARD)."""
+"""ShardMap routing + client re-routing on a stale map (WRONG_SHARD),
+plus property-based invariants over random split/migrate/merge
+sequences (ISSUE 5)."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.cluster.shard_map import ShardMap
+from repro.cluster.shard_map import FULL_SPAN, ShardMap
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.harness import build_cluster
 from repro.kvstore import Write, key_hash
@@ -128,6 +132,138 @@ def test_stale_shard_map_rerouted_through_coordinator():
     for name in cluster.witness_hosts["m0"]:
         witness = cluster.coordinator.witness_servers[name]
         assert witness.cache.occupied_slots() == 0
+
+
+def _topology_cluster(n_masters=3):
+    """A cheap cluster for topology churn: no backups or witnesses, so
+    split/migrate/merge rounds are a handful of RPCs each."""
+    return build_cluster(
+        CurpConfig(f=0, mode=ReplicationMode.UNREPLICATED,
+                   rpc_timeout=100.0, retry_backoff=10.0),
+        n_masters=n_masters)
+
+
+def _apply_topology_op(cluster, data) -> str | None:
+    """Draw and apply one random split/migrate/merge; None = the drawn
+    op was inapplicable (e.g. an unsplittable one-hash tablet)."""
+    coordinator = cluster.coordinator
+    ids = sorted(coordinator.masters)
+    kind = data.draw(st.sampled_from(["split", "migrate", "merge"]),
+                     label="op")
+    if kind == "split":
+        master_id = data.draw(st.sampled_from(ids), label="split-master")
+        tablets = [t for t in coordinator.masters[master_id].owned_ranges
+                   if t[1] - t[0] >= 2]
+        if not tablets:
+            return None
+        lo, hi = data.draw(st.sampled_from(tablets), label="split-tablet")
+        fraction = data.draw(st.floats(0.05, 0.95), label="split-fraction")
+        split = min(hi - 1, max(lo + 1, lo + int((hi - lo) * fraction)))
+        cluster.run(cluster.sim.process(
+            coordinator.split_tablet(master_id, lo, hi, split)),
+            timeout=1_000_000.0)
+    elif kind == "migrate":
+        src = data.draw(st.sampled_from(ids), label="migrate-src")
+        tablets = list(coordinator.masters[src].owned_ranges)
+        if not tablets:
+            return None
+        dst = data.draw(st.sampled_from([m for m in ids if m != src]),
+                        label="migrate-dst")
+        lo, hi = data.draw(st.sampled_from(tablets), label="migrate-tablet")
+        if hi - lo >= 2 and data.draw(st.booleans(), label="migrate-half"):
+            hi = lo + (hi - lo) // 2  # move only the low half
+        cluster.run(cluster.sim.process(
+            coordinator.migrate(src, dst, lo, hi)), timeout=1_000_000.0)
+    else:
+        master_id = data.draw(st.sampled_from(ids), label="merge-master")
+        cluster.run(cluster.sim.process(
+            coordinator.merge_tablets(master_id)), timeout=1_000_000.0)
+    return kind
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_random_topology_churn_preserves_map_invariants(data):
+    """Any sequence of splits, migrations and merges must leave the
+    shard map a partition of the full hash space — complete coverage,
+    no overlap (``from_tablets`` raises on overlap, so building the
+    map at all asserts it) — with monotonically increasing versions:
+    strictly increasing whenever the tablet layout changed, unchanged
+    on a no-op (a merge that found nothing adjacent must not churn
+    client maps)."""
+    cluster = _topology_cluster()
+    last_version = cluster.shard_map.version
+    n_ops = data.draw(st.integers(1, 8), label="n_ops")
+    for _ in range(n_ops):
+        tablets_before = cluster.shard_map.tablets()
+        applied = _apply_topology_op(cluster, data)
+        if applied is None:
+            continue
+        shard_map = cluster.shard_map
+        assert shard_map.covers_full_range()
+        assert shard_map.starts[0] == 0 and shard_map.ends[-1] == FULL_SPAN
+        if shard_map.tablets() != tablets_before:
+            assert shard_map.version > last_version
+        else:
+            assert shard_map.version == last_version
+        last_version = shard_map.version
+        # Coordinator bookkeeping and every live master agree on
+        # ownership of arbitrary probes.
+        for probe in (0, 1, 2 ** 63, FULL_SPAN - 1,
+                      key_hash("userX"), key_hash("probe-key")):
+            owner = shard_map.master_for_hash(probe)
+            assert owner is not None
+            assert cluster.master(owner).owns_hash(probe)
+            for other in cluster.coordinator.masters:
+                if other != owner:
+                    assert not cluster.master(other).owns_hash(probe)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_stale_map_client_converges_within_three_rtts(data):
+    """However far the topology drifted since a client's view, one
+    WRONG_SHARD bounce + one map refresh + one retry must complete any
+    read: ≤ 3 RTTs total (12 µs at the test profile's 2 µs one-way)."""
+    cluster = _topology_cluster()
+    client = cluster.new_client()
+    keys = [f"pk-{i}" for i in range(4)]
+    for key in keys:
+        cluster.run(client.update(Write(key, "v")))
+    stale_view = client.view
+    for _ in range(data.draw(st.integers(1, 6), label="n_ops")):
+        _apply_topology_op(cluster, data)
+    for key in keys:
+        client.view = stale_view  # maximally stale for every read
+        started = cluster.sim.now
+        assert cluster.run(client.read(key), timeout=1_000_000.0) == "v"
+        elapsed = cluster.sim.now - started
+        assert elapsed <= 12.0 + 1e-9, (
+            f"read of {key} took {elapsed} µs (> 3 RTTs) — stale-map "
+            f"convergence regressed")
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_shard_map_bisect_matches_linear_scan(data):
+    """Pure routing property: the bisect lookup agrees with a linear
+    tablet scan for arbitrary valid tablet sets and probes."""
+    n_tablets = data.draw(st.integers(1, 8), label="n_tablets")
+    bounds = sorted(data.draw(
+        st.lists(st.integers(1, FULL_SPAN - 1), min_size=n_tablets - 1,
+                 max_size=n_tablets - 1, unique=True),
+        label="bounds"))
+    edges = [0] + bounds + [FULL_SPAN]
+    tablets = [(edges[i], edges[i + 1], f"m{i % 3}")
+               for i in range(n_tablets)]
+    shard_map = ShardMap.from_tablets(tablets, version=1)
+    assert shard_map.covers_full_range()
+    probes = data.draw(st.lists(st.integers(0, FULL_SPAN - 1), min_size=1,
+                                max_size=10), label="probes")
+    for probe in probes:
+        linear = next((owner for lo, hi, owner in tablets
+                       if lo <= probe < hi), None)
+        assert shard_map.master_for_hash(probe) == linear
 
 
 def test_stale_shard_map_read_rerouted():

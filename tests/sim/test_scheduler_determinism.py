@@ -373,6 +373,107 @@ def test_golden_trace_coalesced_pinned():
     assert _coalesced_experiment() == GOLDEN_COALESCED
 
 
+# ----------------------------------------------------------------------
+# golden trace, load-driven rebalancing (ISSUE 5)
+# ----------------------------------------------------------------------
+#: end state of the seeded skewed two-shard experiment with the
+#: rebalancer enabled (interval 400, threshold 1.25): one split of the
+#: hot shard's tablet at the load-weighted point, one migration of the
+#: split-off half to the cold shard, and the post-move merge pass
+#: coalescing the receiver's now-adjacent tablets back into one — the
+#: final layout is two tablets with the boundary at the split point.
+#: Captured when the rebalancer landed; byte-identical thereafter.
+GOLDEN_REBALANCE = {
+    "now": 4532.0,
+    "processed_events": 49014,
+    "operations": 2570,
+    "messages_sent": 15006,
+    "bytes_sent": 2341960,
+    "messages_dropped": 0,
+    "splits": 1,
+    "migrations": 1,
+    "tablets": ((0, 9735153152272807980, "m0"),
+                (9735153152272807980, 18446744073709551616, "m1")),
+    "per_host_sent": {
+        "client1": 1500,
+        "client2": 1547,
+        "client3": 1467,
+        "client4": 1563,
+        "coordinator": 40,
+        "m0-backup0": 154,
+        "m0-backup1": 154,
+        "m0-host": 1943,
+        "m0-witness0": 821,
+        "m0-witness1": 821,
+        "m1-backup0": 196,
+        "m1-backup1": 196,
+        "m1-host": 2488,
+        "m1-witness0": 1058,
+        "m1-witness1": 1058,
+    },
+}
+
+
+def _rebalance_experiment(rebalance: bool = True) -> dict:
+    """The seeded *skewed* experiment behind the rebalancer golden: two
+    shards, a zipfian mix whose head lands ~70% of the load on m1, and
+    the rebalancer (when enabled) splitting/migrating mid-run."""
+    cluster = build_cluster(curp_config(2), seed=1234, n_masters=2)
+    if rebalance:
+        cluster.start_rebalancer(interval=400.0, threshold=1.25,
+                                 min_ops=60)
+    workload = YcsbWorkload(name="golden-skewed", read_fraction=0.5,
+                            item_count=375, value_size=16,
+                            distribution="zipfian")
+    result = run_closed_loop(cluster, workload, n_clients=4,
+                             duration=3_000.0, warmup=500.0)
+    if cluster.rebalancer is not None:
+        cluster.rebalancer.stop()
+    cluster.settle(1_000.0)
+    stats = cluster.rebalancer.stats if rebalance else None
+    return {
+        "now": cluster.sim.now,
+        "processed_events": cluster.sim.processed_events,
+        "operations": result["operations"],
+        "messages_sent": cluster.network.stats.messages_sent,
+        "bytes_sent": cluster.network.stats.bytes_sent,
+        "messages_dropped": cluster.network.stats.messages_dropped,
+        "splits": stats.splits if stats else 0,
+        "migrations": stats.migrations if stats else 0,
+        "tablets": cluster.shard_map.tablets(),
+        "per_host_sent": dict(sorted(
+            cluster.network.stats.per_host_sent.items())),
+    }
+
+
+def test_golden_trace_rebalance_pinned():
+    """ISSUE 5 golden: the seeded skewed run with rebalancing enabled
+    is pinned end-to-end — virtual end time, dispatch count, traffic,
+    *and* the exact post-rebalance tablet layout.  Any drift in the
+    rebalancer's virtual-time behaviour (report cadence, split-point
+    choice, migration protocol) moves this pin.
+
+    Rebalancing *disabled* is pinned by omission everywhere else: the
+    load-accounting counters add no events, so GOLDEN / GOLDEN_FAST /
+    GOLDEN_COALESCED above must stay byte-identical — those tests are
+    the disabled half of this satellite."""
+    observed = _rebalance_experiment()
+    assert observed == GOLDEN_REBALANCE
+    assert GOLDEN_REBALANCE["migrations"] >= 1  # the pin has a subject
+
+
+def test_rebalance_disabled_trace_static_tablets():
+    """The identical skewed experiment without the rebalancer keeps the
+    even two-tablet split (nothing else in the PR moves tablets), and
+    its virtual end time matches the enabled run's — rebalancing
+    changes placement and message counts, never the measured window."""
+    observed = _rebalance_experiment(rebalance=False)
+    assert observed["splits"] == 0 and observed["migrations"] == 0
+    assert observed["tablets"] == ((0, 2 ** 63, "m0"),
+                                   (2 ** 63, 2 ** 64, "m1"))
+    assert observed["now"] == GOLDEN_REBALANCE["now"]
+
+
 def test_single_client_pipelined_end_state_identical_across_frame_modes():
     """With one pipelined client there is no cross-client contention to
     shift the within-instant op mix, so frames on/off must produce

@@ -15,7 +15,7 @@ _spec.loader.exec_module(bench_compare)
 
 def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
              fig6=170_000, speedup=3.8, fig6_coalesced=170_000,
-             messages_per_update=2.3) -> dict:
+             messages_per_update=2.3, rebalance_ops=1_300_000) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
@@ -27,6 +27,9 @@ def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
         "fig6_smoke": {"events_per_sec": fig6,
                        "ops_per_sec": 5_500},
         "fig6_smoke_coalesced": {"events_per_sec": fig6_coalesced},
+        "rebalance": {"aggregate_ops_per_sec": rebalance_ops,
+                      "speedup": 1.8,
+                      "hot_shard_share_on": 0.27},
     }
 
 
@@ -94,7 +97,7 @@ def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 7  # every gated metric uncomparable
+    assert len(failures) == 8  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
@@ -103,6 +106,30 @@ def test_missing_gated_metric_fails_the_gate():
     assert gated["fig6 smoke events/s"]["status"] == "MISSING"
     assert gated["fig6 smoke events/s (coalesced)"]["status"] == "MISSING"
     assert gated["rpc messages/update (coalesced)"]["status"] == "MISSING"
+    assert gated["rebalance aggregate ops/s"]["status"] == "MISSING"
+
+
+# ----------------------------------------------------------------------
+# ISSUE 5: the rebalanced skewed-YCSB aggregate gate
+# ----------------------------------------------------------------------
+def test_rebalance_aggregate_regression_gates():
+    """A drop in the deterministic rebalanced aggregate (the balancer
+    stopped balancing, or the balanced placement got slower) fails."""
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(rebalance_ops=800_000), threshold=0.25)
+    assert len(failures) == 1
+    assert "rebalance aggregate ops/s" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    assert gated["rebalance aggregate ops/s"]["status"] == "REGRESSION"
+
+
+def test_rebalance_speedup_is_informational():
+    candidate = snapshot()
+    candidate["rebalance"]["speedup"] = 1.0
+    candidate["rebalance"]["hot_shard_share_on"] = 0.45
+    _rows, failures = bench_compare.compare(
+        snapshot(), candidate, threshold=0.25)
+    assert failures == []
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.workload import (
     YCSB_B,
     YcsbWorkload,
     ZipfianGenerator,
+    shard_load_profile,
 )
 from repro.workload.ycsb import scaled
 
@@ -120,3 +121,68 @@ def test_property_zipfian_always_in_range(item_count, theta):
     rng = random.Random(0)
     for _ in range(50):
         assert 0 <= gen.next(rng) < item_count
+
+
+# ----------------------------------------------------------------------
+# the shard-aware harness (ISSUE 5)
+# ----------------------------------------------------------------------
+def _even_shard_map(n_shards: int):
+    from repro.cluster.shard_map import ShardMap
+    span = 2 ** 64 // n_shards
+    return ShardMap.from_tablets(
+        [(i * span, (i + 1) * span if i < n_shards - 1 else 2 ** 64,
+          f"m{i}") for i in range(n_shards)])
+
+
+def test_shard_load_profile_sums_to_one_and_matches_sampling():
+    """The closed-form per-shard shares must agree with empirically
+    sampled routing of the same workload."""
+    from repro.kvstore.hashing import key_hash
+    workload = YcsbWorkload(name="t", read_fraction=0.0, item_count=500,
+                            theta=0.99)
+    shard_map = _even_shard_map(4)
+    profile = shard_load_profile(workload, shard_map)
+    assert sum(profile.values()) == pytest.approx(1.0)
+    assert set(profile) <= {"m0", "m1", "m2", "m3"}
+    stream = workload.generator()
+    rng = random.Random(9)
+    sampled = Counter(
+        shard_map.master_for_hash(key_hash(stream.key(rng)))
+        for _ in range(40000))
+    for shard, share in profile.items():
+        assert sampled[shard] / 40000 == pytest.approx(share, abs=0.02)
+
+
+def test_shard_load_profile_uniform_is_flat():
+    workload = YcsbWorkload(name="t", read_fraction=0.0, item_count=2000,
+                            distribution="uniform")
+    profile = shard_load_profile(workload, _even_shard_map(4))
+    for share in profile.values():
+        assert share == pytest.approx(0.25, abs=0.05)
+
+
+def test_run_sharded_ycsb_reports_per_shard_latency():
+    """The driver attributes every op to the serving shard and reports
+    per-shard percentiles; shares sum to 1 and totals reconcile."""
+    from repro.core.config import CurpConfig, ReplicationMode
+    from repro.harness import build_cluster
+    from repro.workload import run_sharded_ycsb
+    cluster = build_cluster(
+        CurpConfig(f=1, mode=ReplicationMode.CURP, min_sync_batch=10,
+                   idle_sync_delay=100.0, rpc_timeout=150.0),
+        n_masters=2, seed=3)
+    workload = YcsbWorkload(name="mix", read_fraction=0.5, item_count=200,
+                            value_size=16, theta=0.99)
+    result = run_sharded_ycsb(cluster, workload, n_clients=4,
+                              duration=2_000.0, warmup=200.0)
+    assert result["operations"] > 0
+    per_shard = result["per_shard"]
+    assert set(per_shard) == {"m0", "m1"}
+    assert sum(d["operations"] for d in per_shard.values()) \
+        == result["operations"]
+    assert sum(d["share"] for d in per_shard.values()) == pytest.approx(1.0)
+    for detail in per_shard.values():
+        summary = detail["write"]
+        assert summary["count"] > 0
+        assert summary["median"] <= summary["p99"]
+        assert detail["read"]["count"] > 0

@@ -48,6 +48,11 @@ GATED_METRICS = (
     # non-batched (closed-loop) traffic
     ("fig6 smoke events/s (coalesced)",
      ("fig6_smoke_coalesced", "events_per_sec")),
+    # ISSUE 5: rebalanced skewed-YCSB aggregate throughput (virtual
+    # time — deterministic per seed, so this gate has no runner noise:
+    # any drop means the rebalancer stopped balancing or the balanced
+    # placement got slower)
+    ("rebalance aggregate ops/s", ("rebalance", "aggregate_ops_per_sec")),
 )
 
 #: gated metrics where *lower* is better: the gate fails when the
@@ -74,6 +79,9 @@ INFO_METRICS = (
      ("frame_coalescing", "f3_spread", "message_reduction")),
     ("scaleout 4-shard speedup", ("scaleout", "speedup_4_shards_vs_1")),
     ("scaleout gc rpc reduction", ("scaleout", "gc_rpc_reduction")),
+    ("rebalance on/off speedup", ("rebalance", "speedup")),
+    ("rebalance hot-shard share (on)",
+     ("rebalance", "hot_shard_share_on")),
 )
 
 

@@ -29,7 +29,12 @@ Measures, in wall-clock terms:
   number is also recorded as ``rpc.messages_per_update`` and gated
   lower-is-better; ``fig6_smoke_coalesced`` re-runs the Figure 6
   smoke with frames on to gate the flag's overhead on non-batched
-  traffic.
+  traffic;
+- a ``rebalance`` series (ISSUE 5): skewed-YCSB (zipfian θ=0.99,
+  4 shards) aggregate throughput with load-driven rebalancing on vs
+  off, from ``benchmarks/bench_rebalance.py`` — the rebalanced
+  aggregate (``rebalance.aggregate_ops_per_sec``, virtual-time and
+  therefore deterministic per seed) is CI-gated.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -162,6 +167,26 @@ def _frame_coalescing(scale: float) -> dict:
     return series
 
 
+def _rebalance() -> dict:
+    """Skewed-workload rebalancing on/off (ISSUE 5 acceptance series):
+    virtual-time throughput, deterministic per seed — wall clock only
+    decides how long the measurement takes."""
+    from benchmarks.bench_rebalance import rebalance_comparison
+
+    started = time.perf_counter()
+    series = rebalance_comparison()
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "aggregate_ops_per_sec": round(series["on"]["throughput"]),
+        "aggregate_ops_per_sec_off": round(series["off"]["throughput"]),
+        "speedup": round(series["speedup"], 2),
+        "hot_shard_share_off": round(series["off"]["max_share"], 3),
+        "hot_shard_share_on": round(series["on"]["max_share"], 3),
+        "splits": series["on"]["splits"],
+        "migrations": series["on"]["migrations"],
+    }
+
+
 def _curp_op_path(scale: float) -> dict:
     """Committed-ops/s through the full operation lifecycle (ISSUE 3
     acceptance series), from benchmarks/bench_curp_op_path.py."""
@@ -223,6 +248,7 @@ def snapshot(scale: float = 1.0) -> dict:
         "frame_coalescing": frame_series,
         "curp_op_path": _curp_op_path(scale),
         "scaleout": _scaleout(),
+        "rebalance": _rebalance(),
     }
 
 
