@@ -30,7 +30,7 @@ from repro.core.witness import WitnessEndpoint, WitnessServer
 from repro.cluster.shard_map import ShardMap
 from repro.kvstore.backup import BackupServer
 from repro.rifl import LeaseServer
-from repro.rpc import RpcError, RpcTransport
+from repro.rpc import RpcError, RpcTransport, backoff_delay
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -214,11 +214,18 @@ class Coordinator:
         if witness_host.name in self.witness_servers:
             raise ValueError(f"{witness_host.name} already hosts a "
                              f"single-tenant witness")
+        overload = self.config.overload
         endpoint = WitnessEndpoint(
             witness_host, slots=self.config.witness_slots,
             associativity=self.config.witness_associativity,
             stale_threshold=self.config.gc_stale_threshold,
-            record_time=record_time)
+            record_time=record_time,
+            # Per-tenant fair admission rides the overload defenses:
+            # off (window_records=0) unless config.overload enables it.
+            fair_window=(overload.witness_window
+                         if overload.enabled else 0.0),
+            window_records=(overload.witness_window_records
+                            if overload.enabled else 0))
         self.witness_endpoints[witness_host.name] = endpoint
         return endpoint
 
@@ -545,9 +552,12 @@ class Coordinator:
                        rpc_timeout: float, max_attempts: int = 20):
         """``dst`` may be a host name or a zero-arg callable re-resolved
         per attempt (a master that recovers onto a new host mid-retry
-        lets the loop converge on the new address)."""
+        lets the loop converge on the new address).  Retries back off
+        exponentially (base rpc_timeout/8, capped at 2×rpc_timeout)
+        with jitter, so several coordinator retry loops aimed at one
+        recovering host spread out instead of synchronizing."""
         last: Exception | None = None
-        for _ in range(max_attempts):
+        for attempt in range(max_attempts):
             target = dst() if callable(dst) else dst
             try:
                 value = yield self.transport.call(target, method, args,
@@ -555,7 +565,9 @@ class Coordinator:
                 return value
             except RpcError as error:
                 last = error
-                yield self.sim.timeout(rpc_timeout / 4)
+                yield self.sim.timeout(backoff_delay(
+                    attempt, rpc_timeout / 8, rpc_timeout * 2,
+                    self.sim.rng))
         raise RecoveryFailed(f"{method} to {target} kept failing: {last!r}")
 
 

@@ -26,7 +26,7 @@ from repro.core.messages import RecordedRequest
 from repro.consensus.raft import ProposeArgs, ProposeReply, WitnessRecordArgs
 from repro.kvstore.operations import Operation, Read
 from repro.rifl import RiflClientTracker
-from repro.rpc import AppError, RpcError, RpcTransport
+from repro.rpc import AppError, RpcError, RpcTransport, backoff_delay
 from repro.sim.events import QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -56,6 +56,12 @@ class RaftCurpClient:
         self.replicas = list(replicas)
         self.f = (len(self.replicas) - 1) // 2
         self.rpc_timeout = rpc_timeout
+        #: cap (µs) for the bounded exponential retry backoff: attempt
+        #: k sleeps equal-jittered in [span/2, span) with span =
+        #: min(retry_backoff, retry_backoff/8 × 2^k) — short first
+        #: retries (a leader election resolves in a few heartbeats),
+        #: desynchronized long ones (no client retry storms against a
+        #: group that stays leaderless)
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.transport = RpcTransport(host)
@@ -68,7 +74,7 @@ class RaftCurpClient:
     # ------------------------------------------------------------------
     def find_leader(self):
         """Generator: poll replicas until someone claims leadership."""
-        for _ in range(self.max_attempts):
+        for attempt in range(self.max_attempts):
             for replica in self.replicas:
                 try:
                     status = yield self.transport.call(
@@ -83,13 +89,18 @@ class RaftCurpClient:
                     self.leader = status["leader"]
             if self.leader is not None:
                 return self.leader
-            yield self.sim.timeout(self.retry_backoff)
+            yield self.sim.timeout(self._retry_delay(attempt))
         raise ConsensusGaveUp("no leader found")
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Bounded exponential backoff + jitter between retries."""
+        return backoff_delay(attempt, self.retry_backoff / 8,
+                             self.retry_backoff, self.sim.rng)
 
     def update(self, op: Operation):
         """Generator: a linearizable update; returns (result, fast)."""
         rpc_id = self.tracker.new_rpc()
-        for _attempt in range(self.max_attempts):
+        for attempt in range(self.max_attempts):
             if self.leader is None:
                 yield from self.find_leader()
             leader = self.leader
@@ -152,7 +163,7 @@ class RaftCurpClient:
                     raise payload
             else:
                 self.leader = None
-            yield self.sim.timeout(self.retry_backoff)
+            yield self.sim.timeout(self._retry_delay(attempt))
         raise ConsensusGaveUp(f"update {op!r} failed after "
                               f"{self.max_attempts} attempts")
 
@@ -162,7 +173,7 @@ class RaftCurpClient:
         return result
 
     def update_readonly(self, op: Operation):
-        for _attempt in range(self.max_attempts):
+        for attempt in range(self.max_attempts):
             if self.leader is None:
                 yield from self.find_leader()
             try:
@@ -180,6 +191,6 @@ class RaftCurpClient:
                     raise
             except RpcError:
                 self.leader = None
-            yield self.sim.timeout(self.retry_backoff)
+            yield self.sim.timeout(self._retry_delay(attempt))
         raise ConsensusGaveUp("read failed")
 

@@ -45,6 +45,7 @@ from repro.core.messages import (
     RECORD_ACCEPTED,
     RecordArgs,
     RecordedRequest,
+    RETRY_LATER,
     UpdateArgs,
     UpdateReply,
 )
@@ -52,6 +53,7 @@ from repro.kvstore.hashing import key_hash
 from repro.kvstore.operations import Operation
 from repro.rifl import RiflClientTracker
 from repro.rpc import AppError, RpcError, RpcTimeout, RpcTransport
+from repro.rpc.helpers import backoff_delay
 from repro.sim.events import AllOf, QuorumEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -102,6 +104,9 @@ class CurpClient:
         self.completed_updates = 0
         self.completed_reads = 0
         self.fast_path_updates = 0
+        #: RETRY_LATER pushbacks seen (the backpressure drivers in
+        #: workload/ read this to shrink their in-flight windows)
+        self.pushbacks = 0
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -162,6 +167,7 @@ class CurpClient:
         rpc_id = self.tracker.new_rpc()
         started = self.sim.now
         last_error: Exception | None = None
+        pushback_streak = 0
         for attempt in range(1, self.config.max_attempts + 1):
             master = self._master_for(op.touched_keys())
             args = UpdateArgs(op=op, rpc_id=rpc_id,
@@ -213,6 +219,20 @@ class CurpClient:
                 last_error = error
                 if error.code == "STALE_RPC":  # pragma: no cover - guard
                     raise error
+                if error.code == RETRY_LATER:
+                    # Admission-control pushback (§overload): the
+                    # master's bounded queue is full.  Back off by its
+                    # hint — grown exponentially per consecutive
+                    # pushback and jittered so a shed flash crowd
+                    # doesn't retry in lockstep — and *without*
+                    # refreshing the cluster view: overload is not a
+                    # routing problem, and a coordinator round trip
+                    # per shed attempt would move the collapse there.
+                    self.pushbacks += 1
+                    yield self.sim.timeout(
+                        self._pushback_delay(error, pushback_streak))
+                    pushback_streak += 1
+                    continue
                 if error.code == "WRONG_SHARD":
                     # Stale shard map: the key migrated to another
                     # master.  Refetch routing from the coordinator and
@@ -232,10 +252,25 @@ class CurpClient:
                     continue
             else:  # timeout
                 last_error = payload
+            pushback_streak = 0
             yield from self._recover_attempt()
         raise ClientGaveUp(
             f"update {op!r} failed after {self.config.max_attempts} "
             f"attempts: {last_error!r}")
+
+    def _pushback_delay(self, error: AppError, streak: int) -> float:
+        """Delay for the ``streak``-th consecutive RETRY_LATER: the
+        master's ``retry_after`` hint, doubled per consecutive pushback
+        up to ``overload.retry_after_cap``, equal-jittered via
+        ``sim.rng``.  Only ever called on a pushback, so runs without
+        defenses draw nothing from the rng stream."""
+        overload = self.config.overload
+        hint = None
+        if isinstance(error.info, dict):
+            hint = error.info.get("retry_after")
+        base = hint or overload.retry_after
+        return backoff_delay(streak, base, overload.retry_after_cap,
+                             self.sim.rng)
 
     # ------------------------------------------------------------------
     # the 1 + f fan-out (§3.2.1)
@@ -411,6 +446,7 @@ class CurpClient:
         """Generator: read (value, version) — the transaction read set."""
         started = self.sim.now
         last_error: Exception | None = None
+        pushback_streak = 0
         for _attempt in range(1, self.config.max_attempts + 1):
             master = self._master_for((key,))
             try:
@@ -427,6 +463,15 @@ class CurpClient:
                 if isinstance(error, AppError) and error.code == "WRONG_SHARD":
                     yield from self._refresh_routing()
                     continue
+                if isinstance(error, AppError) and error.code == RETRY_LATER:
+                    # Same pushback contract as updates: back off by
+                    # the hint, no view refresh.
+                    self.pushbacks += 1
+                    yield self.sim.timeout(
+                        self._pushback_delay(error, pushback_streak))
+                    pushback_streak += 1
+                    continue
+            pushback_streak = 0
             yield from self._recover_attempt()
         raise ClientGaveUp(f"read {key!r} failed: {last_error!r}")
 

@@ -31,6 +31,84 @@ class ReplicationMode(enum.Enum):
 
 
 @dataclasses.dataclass
+class OverloadConfig:
+    """Overload-protection knobs (admission control, pushback,
+    per-tenant fairness).
+
+    Everything here is **off by default** (``enabled=False``): the
+    defenses add zero events and zero rng draws when disabled, so every
+    pre-existing golden trace is byte-identical.  When enabled:
+
+    - masters bound their admission queue: an update/read arriving
+      while ``Resource.queue_length`` of the worker pool is already at
+      ``max_queue_depth`` is *shed* with a ``RETRY_LATER`` AppError
+      carrying a ``retry_after`` hint (µs) instead of joining an
+      unbounded queue.  Shedding costs one cheap reply, not a worker;
+      the waiting clients that *are* admitted see bounded queue delay
+      instead of collapse (goodput stays flat past saturation).
+    - clients honor the pushback: a ``RETRY_LATER`` reply backs off by
+      the hint (exponentially grown per consecutive pushback, jittered
+      via ``sim.rng``) without refetching the cluster view — overload
+      is not a routing problem, and hammering the coordinator during a
+      flash crowd would just move the collapse there.
+    - the shared multi-tenant :class:`~repro.core.witness.
+      WitnessEndpoint` applies windowed per-tenant fair admission so
+      one hot tenant's record storm cannot starve the other shards'
+      1-RTT fast path (an under-fair-share tenant is always admitted).
+    - open-loop drivers shrink their in-flight window AIMD-style on
+      pushback (``min_window``/``window_decrease``/``window_increase``)
+      — the backpressure half of the contract.
+    """
+
+    enabled: bool = False
+    #: shed updates/reads once this many acquisitions are queued on the
+    #: master's worker pool (the admission bound; the workers themselves
+    #: stay busy — shedding only caps *waiting*)
+    max_queue_depth: int = 64
+    #: base retry hint (µs) carried in the RETRY_LATER pushback
+    retry_after: float = 200.0
+    #: cap for the exponentially-grown client pushback delay (µs)
+    retry_after_cap: float = 2_000.0
+    #: also shed reads (updates are always subject to the bound)
+    shed_reads: bool = True
+    #: accounting window (µs) for per-tenant fair admission on a shared
+    #: WitnessEndpoint
+    witness_window: float = 1_000.0
+    #: record admissions per endpoint per window; 0 disables fairness.
+    #: A tenant below ``witness_window_records / n_tenants`` is always
+    #: admitted; past the global budget, tenants at/over fair share are
+    #: rejected (REJECTED → the hot tenant's clients take the 2-RTT
+    #: sync path and their AIMD windows shrink).
+    witness_window_records: int = 0
+    # -- client backpressure (AIMD in-flight window) --------------------
+    #: floor for the adaptive in-flight window
+    min_window: int = 1
+    #: multiplicative shrink factor applied on pushback
+    window_decrease: float = 0.5
+    #: additive growth per window's worth of clean completions
+    window_increase: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be > 0")
+        if self.retry_after_cap < self.retry_after:
+            raise ValueError("retry_after_cap must be >= retry_after")
+        if self.witness_window <= 0:
+            raise ValueError("witness_window must be > 0")
+        if self.witness_window_records < 0:
+            raise ValueError("witness_window_records must be >= 0 "
+                             "(0 disables fairness)")
+        if self.min_window < 1:
+            raise ValueError("min_window must be >= 1")
+        if not 0.0 < self.window_decrease < 1.0:
+            raise ValueError("window_decrease must be in (0, 1)")
+        if self.window_increase <= 0:
+            raise ValueError("window_increase must be > 0")
+
+
+@dataclasses.dataclass
 class CurpConfig:
     """Knobs for masters, witnesses and clients."""
 
@@ -128,6 +206,12 @@ class CurpConfig:
     max_attempts: int = 30
     #: backoff between client retries after a timeout/config refresh
     retry_backoff: float = 50.0
+
+    # -- overload protection ---------------------------------------------
+    #: admission control, RETRY_LATER pushback and per-tenant fair
+    #: witness admission; disabled by default (golden-trace safe)
+    overload: OverloadConfig = dataclasses.field(
+        default_factory=OverloadConfig)
 
     # -- lease management (§4.8) -----------------------------------------
     lease_check_interval: float = 50_000.0

@@ -39,6 +39,7 @@ from repro.core.messages import (
     LoadReport,
     ReadArgs,
     RecordedRequest,
+    RETRY_LATER,
     UpdateArgs,
     UpdateReply,
 )
@@ -89,6 +90,11 @@ class MasterStats:
     stale_suspects_handled: int = 0
     duplicates_filtered: int = 0
     hot_key_syncs: int = 0
+    #: updates shed with RETRY_LATER at the admission bound
+    #: (config.overload.max_queue_depth; 0 unless overload.enabled)
+    shed_updates: int = 0
+    #: reads shed with RETRY_LATER at the admission bound
+    shed_reads: int = 0
     #: cumulative ops bucketed by owned tablet (lo, hi) — harvested from
     #: the per-hash window whenever the coordinator pulls a load report
     tablet_ops: dict = dataclasses.field(default_factory=dict)
@@ -189,6 +195,20 @@ class CurpMaster:
         if self.deposed:
             raise AppError("DEPOSED", {"master": self.master_id})
 
+    def _shedding(self) -> bool:
+        """Admission control: True when overload defenses are on and the
+        worker pool's wait queue is at the bound.  Pure reads of
+        existing state — disabled, this is one attribute check and the
+        golden traces never see a difference."""
+        overload = self.config.overload
+        return (overload.enabled
+                and self.workers.queue_length >= overload.max_queue_depth)
+
+    def _pushback_info(self) -> dict:
+        return {"retry_after": self.config.overload.retry_after,
+                "master": self.master_id,
+                "queued": self.workers.queue_length}
+
     def _handle_update(self, args: UpdateArgs, ctx):
         self._check_serviceable()
         op: Operation = args.op
@@ -217,6 +237,15 @@ class CurpMaster:
         if state is DuplicateState.STALE:
             # The client already acknowledged this RPC; §4.8 says ignore.
             raise AppError("STALE_RPC", {"rpc_id": str(args.rpc_id)})
+        # Admission control (overload.enabled only): shed *after* the
+        # duplicate filter — a retry of an already-executed op answers
+        # from its completion record above at no worker cost — and
+        # *before* the worker queue, so a flash crowd meets a cheap
+        # pushback reply instead of an unbounded queue whose delay
+        # eventually exceeds every client's patience (collapse).
+        if self._shedding():
+            self.stats.shed_updates += 1
+            raise AppError(RETRY_LATER, self._pushback_info())
         # Per-tablet load accounting (rebalancer input): counters only,
         # no events — virtual-time behaviour is untouched.
         load = self._load_by_hash
@@ -425,6 +454,9 @@ class CurpMaster:
         self._check_serviceable()
         if not self.owns_all((args.key,)):
             raise AppError("WRONG_SHARD", {"master": self.master_id})
+        if self.config.overload.shed_reads and self._shedding():
+            self.stats.shed_reads += 1
+            raise AppError(RETRY_LATER, self._pushback_info())
         h = key_hash(args.key)
         self._load_by_hash[h] = self._load_by_hash.get(h, 0) + 1
         if self.config.fast_completion:

@@ -56,6 +56,12 @@ class RecordArgs:
 RECORD_ACCEPTED = "ACCEPTED"
 RECORD_REJECTED = "REJECTED"
 
+#: AppError code for admission-control pushback: the master's bounded
+#: queue is full; the ``info`` dict carries a ``retry_after`` hint (µs)
+#: that clients honor with jittered exponential backoff — and *without*
+#: a cluster-view refresh (overload is not a routing problem)
+RETRY_LATER = "RETRY_LATER"
+
 
 @dataclasses.dataclass(frozen=True)
 class GcArgs:

@@ -86,6 +86,10 @@ class WitnessStats:
     """Counters for a multi-tenant :class:`WitnessEndpoint`."""
 
     records: int = 0
+    #: record RPCs rejected by per-tenant fair admission (the windowed
+    #: budget; only moves when the endpoint was built with
+    #: ``window_records > 0`` — i.e. ``config.overload`` fairness on)
+    records_throttled: int = 0
     gcs: int = 0
     gc_batches: int = 0
     #: gc_batch flushes that applied inside a cross-master merged
@@ -304,7 +308,8 @@ class WitnessEndpoint:
     def __init__(self, host: "Host", slots: int = 4096,
                  associativity: int = 4, stale_threshold: int = 3,
                  record_time: float = 0.0,
-                 transport: RpcTransport | None = None):
+                 transport: RpcTransport | None = None,
+                 fair_window: float = 0.0, window_records: int = 0):
         self.host = host
         self.sim = host.sim
         self.slots = slots
@@ -313,6 +318,19 @@ class WitnessEndpoint:
         self.record_time = record_time
         self.tenants: dict[str, WitnessServer] = {}
         self.stats = WitnessStats()
+        # -- per-tenant fair admission (config.overload) ---------------
+        #: accounting window length (µs); with ``window_records == 0``
+        #: fairness is off and records flow exactly as before
+        self.fair_window = fair_window
+        #: record admissions per window across all tenants
+        self.window_records = window_records
+        self._window_start = 0.0
+        self._window_counts: dict[str, int] = {}
+        self._window_total = 0
+        #: cumulative per-tenant admitted / throttled records (the
+        #: fairness series in benchmarks reads these)
+        self.tenant_records: dict[str, int] = {}
+        self.tenant_throttled: dict[str, int] = {}
         #: gc_batch flushes awaiting this instant's merged apply
         self._pending_gc: list[tuple[GcBatchArgs, typing.Any]] = []
         self._merge_armed = False
@@ -362,7 +380,48 @@ class WitnessEndpoint:
             # the client falls back to the 2-RTT sync path.
             return RECORD_REJECTED
         self.stats.records += 1
+        if not self._admit(args.master_id):
+            # Fair-admission rejection is indistinguishable on the wire
+            # from a capacity/conflict REJECTED: the hot tenant's
+            # client takes the 2-RTT sync path (and, if it runs a
+            # backpressure driver, shrinks its window) — the other
+            # tenants' fast path stays open.  Rejecting *before* the
+            # tenant's record_time charge keeps the throttle cheap.
+            return RECORD_REJECTED
         return tenant._handle_record(args, ctx)
+
+    def _admit(self, master_id: str) -> bool:
+        """Windowed per-tenant fair admission (config.overload).
+
+        The window resets on demand from ``sim.now`` — no timer, no
+        event, so a fairness-off endpoint (``window_records == 0``, the
+        default) adds nothing to any trace.  A tenant *below* its fair
+        share (``window_records / n_tenants``) is always admitted, even
+        once the global window budget is spent — so a hot tenant can
+        exhaust the budget without ever starving a quiet one; only
+        tenants at/over fair share are throttled.  The bounded
+        overshoot (at most one fair share per under-share tenant) is
+        the price of that guarantee.
+        """
+        if self.window_records <= 0:
+            return True
+        now = self.sim.now
+        if now - self._window_start >= self.fair_window:
+            self._window_start = now
+            self._window_counts.clear()
+            self._window_total = 0
+        count = self._window_counts.get(master_id, 0)
+        fair_share = self.window_records / max(1, len(self.tenants))
+        if self._window_total >= self.window_records and count >= fair_share:
+            self.stats.records_throttled += 1
+            self.tenant_throttled[master_id] = (
+                self.tenant_throttled.get(master_id, 0) + 1)
+            return False
+        self._window_counts[master_id] = count + 1
+        self._window_total += 1
+        self.tenant_records[master_id] = (
+            self.tenant_records.get(master_id, 0) + 1)
+        return True
 
     def _handle_probe(self, args: ProbeArgs, ctx):
         tenant = self.tenants.get(args.master_id)

@@ -1,15 +1,24 @@
-"""Measurement utilities: latency recorders, distribution series, and
-the ASCII table/figure renderers the benchmarks print."""
+"""Measurement utilities: latency recorders, distribution series,
+fairness indices, and the ASCII table/figure renderers the benchmarks
+print."""
 
 from repro.metrics.stats import LatencyRecorder, percentile
 from repro.metrics.series import ccdf_points, cdf_points
+from repro.metrics.fairness import (
+    bucketed_percentiles,
+    bucketed_rates,
+    jain_fairness,
+)
 from repro.metrics.tables import format_table, format_distribution_rows
 
 __all__ = [
     "LatencyRecorder",
+    "bucketed_percentiles",
+    "bucketed_rates",
     "ccdf_points",
     "cdf_points",
     "format_distribution_rows",
     "format_table",
+    "jain_fairness",
     "percentile",
 ]

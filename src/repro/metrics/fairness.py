@@ -1,0 +1,80 @@
+"""Fairness and time-series helpers for multi-tenant overload studies.
+
+Jain's index (Jain, Chiu & Hawe 1984) summarizes how evenly a resource
+was shared: (Σx)² / (n·Σx²) is 1.0 when every tenant got the same
+amount and 1/n when one tenant got everything.  The bucketed series
+turn an open-loop run's (completion-time, latency) stream into
+goodput-over-time and tail-latency-over-time curves — the pictures
+that show a flash crowd arriving, defenses engaging, and goodput
+holding flat instead of collapsing.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.metrics.stats import percentile
+
+
+def jain_fairness(values: typing.Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations, in (0, 1].
+
+    1.0 = perfectly even; 1/n = maximally unfair.  Empty input and
+    all-zero allocations degenerate to 1.0 (nothing was shared
+    unevenly because nothing was shared).
+    """
+    values = list(values)
+    if not values:
+        return 1.0
+    if any(v < 0 for v in values):
+        raise ValueError("allocations must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def bucketed_rates(events: typing.Sequence[tuple[float, float]],
+                   bucket: float, start: float,
+                   end: float) -> list[tuple[float, float]]:
+    """Events/s per time bucket: [(bucket_start, rate), ...].
+
+    ``events`` is a sequence of (time, _) pairs (the second element is
+    ignored — pass an :class:`~repro.workload.openloop.OpenLoopEngine`
+    completion timeline directly); times in µs, rates in events/s.
+    Buckets cover [start, end); empty buckets report 0.0.
+    """
+    if bucket <= 0:
+        raise ValueError(f"bucket must be > 0: {bucket}")
+    n_buckets = max(1, int((end - start) / bucket + 0.5))
+    counts = [0] * n_buckets
+    for t, _ in events:
+        index = int((t - start) / bucket)
+        if 0 <= index < n_buckets:
+            counts[index] += 1
+    seconds = bucket / 1e6
+    return [(start + i * bucket, counts[i] / seconds)
+            for i in range(n_buckets)]
+
+
+def bucketed_percentiles(events: typing.Sequence[tuple[float, float]],
+                         bucket: float, start: float, end: float,
+                         p: float = 99.9) -> list[tuple[float, float | None]]:
+    """Per-bucket latency percentile: [(bucket_start, p-th), ...].
+
+    ``events`` is (completion time, latency) pairs; a bucket with no
+    completions reports None (distinct from a fast bucket — during a
+    total stall nothing completes at all).
+    """
+    if bucket <= 0:
+        raise ValueError(f"bucket must be > 0: {bucket}")
+    n_buckets = max(1, int((end - start) / bucket + 0.5))
+    samples: list[list[float]] = [[] for _ in range(n_buckets)]
+    for t, latency in events:
+        index = int((t - start) / bucket)
+        if 0 <= index < n_buckets:
+            samples[index].append(latency)
+    return [(start + i * bucket,
+             percentile(sorted(samples[i]), p) if samples[i] else None)
+            for i in range(n_buckets)]

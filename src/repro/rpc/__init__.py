@@ -14,7 +14,7 @@ Two features the CURP protocol specifically needs:
 
 from repro.rpc.errors import AppError, RpcError, RpcTimeout
 from repro.rpc.transport import RpcContext, RpcTransport
-from repro.rpc.helpers import call_with_retry
+from repro.rpc.helpers import backoff_delay, call_with_retry
 
 __all__ = [
     "AppError",
@@ -22,5 +22,6 @@ __all__ = [
     "RpcError",
     "RpcTimeout",
     "RpcTransport",
+    "backoff_delay",
     "call_with_retry",
 ]

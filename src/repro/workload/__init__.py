@@ -11,8 +11,12 @@ generators from scratch:
   from key id.
 - :class:`~repro.workload.ycsb.YcsbWorkload` — A/B mixes (50/50 and
   95/5 read/update) producing operations for the kvstore vocabulary.
-- :mod:`~repro.workload.clients` — closed-loop client processes that
-  drive a cluster and feed the latency/throughput recorders.
+- :mod:`~repro.workload.clients` — closed-loop and pipelined client
+  processes that drive a cluster and feed the latency/throughput
+  recorders, including the AIMD backpressure variant.
+- :mod:`~repro.workload.openloop` — open-loop Poisson traffic
+  (diurnal / flash-crowd schedules, multi-tenant) whose offered rate
+  is decoupled from the completion rate — the overload harness.
 """
 
 from repro.workload.zipfian import ScrambledZipfian, UniformGenerator, ZipfianGenerator
@@ -24,25 +28,45 @@ from repro.workload.ycsb import (
     shard_load_profile,
 )
 from repro.workload.clients import (
+    AdaptivePipelinedClient,
     ClosedLoopClient,
     PipelinedClient,
     ShardLoad,
+    run_adaptive_pipelined,
     run_closed_loop,
     run_pipelined_loop,
     run_sharded_ycsb,
 )
+from repro.workload.openloop import (
+    ArrivalSchedule,
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowd,
+    KeySetWorkload,
+    OpenLoopEngine,
+    TenantSpec,
+)
 
 __all__ = [
+    "AdaptivePipelinedClient",
+    "ArrivalSchedule",
     "ClosedLoopClient",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowd",
+    "KeySetWorkload",
+    "OpenLoopEngine",
     "PipelinedClient",
     "ScrambledZipfian",
     "ShardLoad",
+    "TenantSpec",
     "UniformGenerator",
     "YCSB_A",
     "YCSB_B",
     "YCSB_WRITE_ONLY",
     "YcsbWorkload",
     "ZipfianGenerator",
+    "run_adaptive_pipelined",
     "run_closed_loop",
     "run_pipelined_loop",
     "run_sharded_ycsb",

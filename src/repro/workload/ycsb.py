@@ -28,6 +28,11 @@ class YcsbWorkload:
     theta: float = 0.99
     #: "zipfian" or "uniform"
     distribution: str = "zipfian"
+    #: key-space prefix: keys are ``{key_prefix}user{id}``.  The empty
+    #: default changes nothing; per-tenant open-loop traffic gives each
+    #: tenant its own prefix so tenants get disjoint (independently
+    #: zipfian) key spaces on the same cluster.
+    key_prefix: str = ""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:
@@ -52,7 +57,7 @@ class YcsbOpStream:
         self._value = "v" * workload.value_size
 
     def key(self, rng: random.Random) -> str:
-        return f"user{self._chooser.next(rng)}"
+        return f"{self.workload.key_prefix}user{self._chooser.next(rng)}"
 
     def next_op(self, rng: random.Random) -> Operation:
         key = self.key(rng)
@@ -90,14 +95,16 @@ def shard_load_profile(workload: YcsbWorkload, shard_map) -> dict[str, float]:
     shares: dict[str, float] = {}
     if workload.distribution == "uniform":
         for item in range(n):
-            owner = shard_map.master_for_hash(key_hash(f"user{item}"))
+            owner = shard_map.master_for_hash(
+                key_hash(f"{workload.key_prefix}user{item}"))
             shares[owner] = shares.get(owner, 0.0) + 1.0 / n
         return shares
     theta = workload.theta
     zeta_n = sum(1.0 / (rank ** theta) for rank in range(1, n + 1))
     for rank in range(1, n + 1):
         item = _splitmix64(rank - 1) % n
-        owner = shard_map.master_for_hash(key_hash(f"user{item}"))
+        owner = shard_map.master_for_hash(
+            key_hash(f"{workload.key_prefix}user{item}"))
         weight = (1.0 / rank ** theta) / zeta_n
         shares[owner] = shares.get(owner, 0.0) + weight
     return shares

@@ -1,0 +1,140 @@
+"""Targeted tests for the ping-based master failure detector.
+
+The detector's contract: suspicion (consecutive missed pings)
+accumulates per master, one successful ping clears it (so a flapping
+host never triggers recovery), and only ``miss_threshold`` consecutive
+misses pop a standby and drive
+:meth:`~repro.cluster.coordinator.Coordinator.recover_master`.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import FailureDetector
+from repro.core.config import CurpConfig, ReplicationMode
+from repro.harness import build_cluster
+from repro.kvstore import Write
+
+
+def detector_cluster(**kwargs):
+    defaults = dict(f=1, mode=ReplicationMode.CURP, min_sync_batch=50,
+                    idle_sync_delay=200.0, retry_backoff=10.0,
+                    rpc_timeout=100.0)
+    defaults.update(kwargs)
+    return build_cluster(CurpConfig(**defaults))
+
+
+def make_detector(cluster, standbys, **kwargs):
+    defaults = dict(interval=500.0, miss_threshold=3, ping_timeout=100.0)
+    defaults.update(kwargs)
+    return FailureDetector(cluster.coordinator, standbys, **defaults)
+
+
+def test_suspicion_accumulates_only_after_crash():
+    """Misses count up one per interval once the master stops answering
+    — and stay at zero while it is healthy."""
+    cluster = detector_cluster()
+    detector = make_detector(cluster, [])
+    detector.start()
+    cluster.sim.run(until=cluster.sim.now + 2_000.0)
+    assert detector._misses.get("m0", 0) == 0
+
+    cluster.master().host.crash()
+    # One interval + one ping timeout: exactly one miss, no recovery.
+    cluster.sim.run(until=cluster.sim.now + 700.0)
+    assert detector._misses["m0"] == 1
+    assert detector.recoveries_started == 0
+    # A second interval: suspicion keeps accumulating.
+    cluster.sim.run(until=cluster.sim.now + 600.0)
+    assert detector._misses["m0"] == 2
+    assert detector.recoveries_started == 0
+    detector.stop()
+
+
+def test_flapping_host_never_reaches_threshold():
+    """A host that bounces (crash, then back before ``miss_threshold``
+    intervals) has its suspicion cleared by the first successful ping —
+    no standby is consumed."""
+    cluster = detector_cluster()
+    standby = cluster.add_host("flap-standby", role="master")
+    detector = make_detector(cluster, [standby])
+    detector.start()
+    for _ in range(3):  # three flaps, each worth 1-2 misses
+        cluster.master().host.crash()
+        cluster.sim.run(until=cluster.sim.now + 700.0)
+        assert detector._misses["m0"] >= 1
+        cluster.master().host.restart()
+        cluster.sim.run(until=cluster.sim.now + 1_200.0)
+        # Recovery never triggered; suspicion reset by the good ping.
+        assert detector._misses["m0"] == 0
+    detector.stop()
+    assert detector.recoveries_started == 0
+    assert detector.standby_hosts == [standby]
+
+
+def test_threshold_crossing_starts_recovery_and_clears_suspicion():
+    """Sustained misses reach the threshold: one recovery starts, the
+    standby is consumed, and suspicion resets so the recovered master
+    is not immediately re-suspected."""
+    cluster = detector_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    standby = cluster.add_host("fd-standby", role="master")
+    detector = make_detector(cluster, [standby])
+    detector.start()
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 60_000.0)
+    detector.stop()
+    assert detector.recoveries_started == 1
+    assert detector.standby_hosts == []
+    # Recovery cleared the suspicion counter...
+    assert detector._misses["m0"] == 0
+    # ...and the recovered master answers pings and serves reads.
+    recovered = cluster.coordinator.masters["m0"].master
+    assert recovered.active
+    assert recovered.store.read("a") == 1
+
+
+def test_recovered_master_is_not_resuspected():
+    """After recovery the loop keeps pinging the *new* host; with the
+    new master healthy, no further misses or recoveries accumulate."""
+    cluster = detector_cluster()
+    standby = cluster.add_host("fd-standby", role="master")
+    spare = cluster.add_host("fd-spare", role="master")
+    detector = make_detector(cluster, [standby, spare])
+    detector.start()
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 60_000.0)
+    assert detector.recoveries_started == 1
+    # Long healthy stretch: suspicion stays at zero, spare stays unused.
+    cluster.sim.run(until=cluster.sim.now + 20_000.0)
+    detector.stop()
+    assert detector._misses["m0"] == 0
+    assert detector.recoveries_started == 1
+    assert detector.standby_hosts == [spare]
+
+
+def test_no_standby_means_no_recovery_but_loop_continues():
+    """With the standby pool empty the detector resets suspicion at the
+    threshold and keeps watching instead of crashing the loop."""
+    cluster = detector_cluster()
+    detector = make_detector(cluster, [])
+    detector.start()
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 10_000.0)
+    assert detector.recoveries_started == 0
+    # The loop is still alive: suspicion keeps cycling below threshold.
+    assert 0 <= detector._misses["m0"] < detector.miss_threshold
+    detector.stop()
+
+
+def test_stop_halts_pinging():
+    cluster = detector_cluster()
+    detector = make_detector(cluster, [])
+    detector.start()
+    cluster.sim.run(until=cluster.sim.now + 2_000.0)
+    detector.stop()
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 10_000.0)
+    # No pings after stop(): the crash is never even noticed.
+    assert detector._misses.get("m0", 0) == 0
+    assert detector.recoveries_started == 0

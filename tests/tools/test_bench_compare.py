@@ -15,7 +15,8 @@ _spec.loader.exec_module(bench_compare)
 
 def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
              fig6=170_000, speedup=3.8, fig6_coalesced=170_000,
-             messages_per_update=2.3, rebalance_ops=1_300_000) -> dict:
+             messages_per_update=2.3, rebalance_ops=1_300_000,
+             overload_goodput=39_900) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
@@ -30,6 +31,10 @@ def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
         "rebalance": {"aggregate_ops_per_sec": rebalance_ops,
                       "speedup": 1.8,
                       "hot_shard_share_on": 0.27},
+        "overload": {"goodput_at_saturation": overload_goodput,
+                     "retention": 0.99,
+                     "collapse_ratio_off": 0.04,
+                     "quiet_throttle_rate": 0.0},
     }
 
 
@@ -97,7 +102,7 @@ def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 8  # every gated metric uncomparable
+    assert len(failures) == 9  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
@@ -107,6 +112,7 @@ def test_missing_gated_metric_fails_the_gate():
     assert gated["fig6 smoke events/s (coalesced)"]["status"] == "MISSING"
     assert gated["rpc messages/update (coalesced)"]["status"] == "MISSING"
     assert gated["rebalance aggregate ops/s"]["status"] == "MISSING"
+    assert gated["overload goodput@10x ops/s"]["status"] == "MISSING"
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +165,29 @@ def test_messages_per_update_drop_passes():
     """Falling below the baseline is an improvement, not a regression."""
     _rows, failures = bench_compare.compare(
         snapshot(), snapshot(messages_per_update=1.1), threshold=0.25)
+    assert failures == []
+
+
+# ----------------------------------------------------------------------
+# ISSUE 6: the defended goodput-at-saturation gate
+# ----------------------------------------------------------------------
+def test_overload_goodput_regression_gates():
+    """A drop in the deterministic defended goodput at 10× offered load
+    (admission control / backpressure stopped holding the curve) fails."""
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(overload_goodput=20_000), threshold=0.25)
+    assert len(failures) == 1
+    assert "overload goodput@10x ops/s" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    assert gated["overload goodput@10x ops/s"]["status"] == "REGRESSION"
+
+
+def test_overload_side_metrics_are_informational():
+    candidate = snapshot()
+    candidate["overload"]["retention"] = 0.5
+    candidate["overload"]["collapse_ratio_off"] = 0.9
+    _rows, failures = bench_compare.compare(
+        snapshot(), candidate, threshold=0.25)
     assert failures == []
 
 

@@ -53,6 +53,11 @@ GATED_METRICS = (
     # any drop means the rebalancer stopped balancing or the balanced
     # placement got slower)
     ("rebalance aggregate ops/s", ("rebalance", "aggregate_ops_per_sec")),
+    # ISSUE 6: goodput at 10× offered load with defenses on (virtual
+    # time, deterministic per seed — a drop means admission control,
+    # pushback backoff or the AIMD windows stopped holding the curve
+    # flat past saturation)
+    ("overload goodput@10x ops/s", ("overload", "goodput_at_saturation")),
 )
 
 #: gated metrics where *lower* is better: the gate fails when the
@@ -82,6 +87,10 @@ INFO_METRICS = (
     ("rebalance on/off speedup", ("rebalance", "speedup")),
     ("rebalance hot-shard share (on)",
      ("rebalance", "hot_shard_share_on")),
+    ("overload goodput retention", ("overload", "retention")),
+    ("overload collapse ratio (off)", ("overload", "collapse_ratio_off")),
+    ("overload witness fairness (quiet throttle)",
+     ("overload", "quiet_throttle_rate")),
 )
 
 

@@ -34,7 +34,12 @@ Measures, in wall-clock terms:
   4 shards) aggregate throughput with load-driven rebalancing on vs
   off, from ``benchmarks/bench_rebalance.py`` — the rebalanced
   aggregate (``rebalance.aggregate_ops_per_sec``, virtual-time and
-  therefore deterministic per seed) is CI-gated.
+  therefore deterministic per seed) is CI-gated;
+- an ``overload`` series (ISSUE 6): open-loop goodput vs offered load
+  with the overload defenses on/off plus the shared-witness fairness
+  split, from ``benchmarks/bench_overload.py`` — the defended goodput
+  at 10× saturation (``overload.goodput_at_saturation``, virtual-time)
+  is CI-gated.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -187,6 +192,32 @@ def _rebalance() -> dict:
     }
 
 
+def _overload(scale: float) -> dict:
+    """Open-loop overload protection (ISSUE 6 acceptance series):
+    goodput vs offered load with defenses on/off, plus the multi-tenant
+    witness fairness split.  Virtual-time, deterministic per seed."""
+    from benchmarks.bench_overload import fairness_comparison, goodput_curve
+
+    started = time.perf_counter()
+    curve = goodput_curve(duration=50_000.0 * min(scale, 1.0))
+    fairness = fairness_comparison(duration=30_000.0 * min(scale, 1.0))
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "capacity_ops_per_sec": round(curve["capacity_ops_per_sec"]),
+        "peak_goodput": round(curve["peak_goodput"]),
+        "goodput_at_saturation": round(curve["goodput_at_saturation"]),
+        "retention": round(curve["retention"], 3),
+        "collapse_ratio_off": round(curve["collapse_ratio_off"], 3),
+        "fairness_jain": round(curve["fairness_jain"], 3),
+        "goodput_by_offered": {
+            label: {"on": round(point["on"]["goodput"]),
+                    "off": round(point["off"]["goodput"])}
+            for label, point in curve["curve"].items()},
+        "hot_throttle_rate": round(fairness["hot_throttle_rate"], 3),
+        "quiet_throttle_rate": round(fairness["quiet_throttle_rate"], 3),
+    }
+
+
 def _curp_op_path(scale: float) -> dict:
     """Committed-ops/s through the full operation lifecycle (ISSUE 3
     acceptance series), from benchmarks/bench_curp_op_path.py."""
@@ -249,6 +280,7 @@ def snapshot(scale: float = 1.0) -> dict:
         "curp_op_path": _curp_op_path(scale),
         "scaleout": _scaleout(),
         "rebalance": _rebalance(),
+        "overload": _overload(scale),
     }
 
 
