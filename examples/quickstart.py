@@ -6,6 +6,11 @@ witnesses), shows the 1-RTT fast path, a conflict, a master crash with
 unsynced speculative writes, recovery, and that nothing acknowledged
 was lost.
 
+Backup storage modeling is off here (``StorageProfile.enabled`` is
+False by default, so appends are free and instant); see
+``examples/redis_durability.py`` and ``docs/STORAGE.md`` for the
+segmented-WAL model and partitioned crash recovery.
+
 Run:  python examples/quickstart.py
 """
 

@@ -20,17 +20,25 @@ import typing
 from repro.core.config import CurpConfig
 from repro.core.master import CurpMaster, FULL_RANGE
 from repro.core.messages import (
+    AbsorbPartitionArgs,
     ClusterView,
+    GetRecoveryDataArgs,
     MasterInfo,
     SetRangesArgs,
     StartArgs,
 )
-from repro.core.recovery import RecoveryFailed, build_recovery_master, recover
+from repro.core.recovery import (
+    RecoveryFailed,
+    build_recovery_master,
+    plan_partitions,
+    recover,
+)
 from repro.core.witness import WitnessEndpoint, WitnessServer
 from repro.cluster.shard_map import ShardMap
-from repro.kvstore.backup import BackupServer
+from repro.kvstore.backup import BackupServer, PartitionReadArgs
 from repro.rifl import LeaseServer
 from repro.rpc import RpcError, RpcTransport, backoff_delay
+from repro.sim.events import AllOf
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -141,7 +149,8 @@ class Coordinator:
         transports = {}
         for backup_host in backup_hosts:
             server = BackupServer(backup_host, master_id=master_id,
-                                  process_time=backup_process_time)
+                                  process_time=backup_process_time,
+                                  storage=self.config.storage)
             self.backup_servers[backup_host.name] = server
             transports[backup_host.name] = server.transport
         for witness_host in witness_hosts:
@@ -313,7 +322,8 @@ class Coordinator:
             missing = self.config.f - len(managed.backups)
             while missing > 0 and self.backup_spares:
                 spare = self.backup_spares.pop(0)
-                server = BackupServer(spare, master_id=master_id)
+                server = BackupServer(spare, master_id=master_id,
+                                      storage=self.config.storage)
                 server.min_epoch = managed.epoch
                 self.backup_servers[spare.name] = server
                 new_list = managed.backups + [spare.name]
@@ -325,6 +335,236 @@ class Coordinator:
             return stats
         finally:
             managed.recovering = False
+
+    # ------------------------------------------------------------------
+    # partitioned fast recovery (RAMCloud-style, docs/STORAGE.md)
+    # ------------------------------------------------------------------
+    def recover_master_partitioned(self, master_id: str,
+                                   recovery_masters: typing.Sequence[str],
+                                   rpc_timeout: float = 2_000.0):
+        """Generator: recover a crashed master by partitioning its
+        tablets across ``recovery_masters`` (surviving masters).
+
+        The scalable half of the recovery story: the dead master's hash
+        span is cut into one partition per recovery master (partitions
+        spanned by a single witnessed multi-key request are merged),
+        every reachable backup scans its *stripe* of the log exactly
+        once — bucketing entries for all partitions in one pass, the
+        reply gated by its virtual disk — and the recovery masters
+        absorb their partitions in parallel: install, RIFL-filtered
+        witness replay, re-replication to their own backups.  Recovery
+        time therefore scales with backups × recovery masters, not
+        with the dead master's data volume on one machine.
+
+        Bookkeeping cuts over per partition as each absorb acks, so a
+        mid-flight failure leaves the recovered partitions routable and
+        the remainder still owned by the dead master's (retryable)
+        entry.  When everything drains, the dead master is removed from
+        the map and its witnesses are decommissioned.  Returns a dict
+        of recovery statistics.
+        """
+        managed = self.masters[master_id]
+        if managed.recovering:
+            raise RecoveryFailed(f"{master_id} already recovering")
+        if not recovery_masters:
+            raise ValueError("need at least one recovery master")
+        if len(set(recovery_masters)) != len(recovery_masters):
+            raise ValueError("duplicate recovery master ids")
+        targets = []
+        for recovery_id in recovery_masters:
+            if recovery_id == master_id:
+                raise ValueError("cannot recover a master onto itself")
+            targets.append(self.masters[recovery_id])
+        managed.recovering = True
+        try:
+            # 1. Fence (§4.7) — same argument as recover_master: a
+            # zombie sync needs every backup, so one fenced live backup
+            # suffices; dead backups cannot ack either.
+            managed.epoch += 1
+            reachable = []
+            for backup in managed.backups:
+                try:
+                    yield self.transport.call(backup, "fence", managed.epoch,
+                                              timeout=rpc_timeout)
+                    reachable.append(backup)
+                except RpcError:
+                    continue
+            if not reachable:
+                raise RecoveryFailed(
+                    f"could not fence any backup of {master_id}")
+            # 2. Witness harvest (freezes the chosen witness, §4.6).
+            requests = None
+            for witness in managed.witnesses:
+                try:
+                    requests = yield self.transport.call(
+                        witness, "get_recovery_data",
+                        GetRecoveryDataArgs(master_id=master_id),
+                        timeout=rpc_timeout)
+                    break
+                except RpcError:
+                    continue
+            if requests is None and managed.witnesses:
+                raise RecoveryFailed(f"no witness reachable among "
+                                     f"{list(managed.witnesses)}")
+            requests = tuple(requests or ())
+            # 3. Log extent from one backup's segment index.
+            index = None
+            for backup in reachable:
+                try:
+                    index = yield self.transport.call(
+                        backup, "get_segment_index", None,
+                        timeout=rpc_timeout)
+                    break
+                except RpcError:
+                    continue
+            if index is None:
+                raise RecoveryFailed("no backup reachable for the "
+                                     "segment index")
+            log_end = max((info.last_index for info in index), default=0)
+            # 4. Plan the partitions and read the stripes.
+            partitions = plan_partitions(managed.owned_ranges,
+                                         len(targets), requests)
+            entry_buckets = yield from self._read_stripes(
+                reachable, log_end, partitions, rpc_timeout)
+            # 5. Absorb in parallel; bookkeeping cuts over per
+            # partition as each ack lands.
+            outcomes: dict[int, typing.Any] = {}
+            absorbers = []
+            for i, partition in enumerate(partitions):
+                absorbers.append(self.sim.process(self._absorb_partition(
+                    managed, targets[i], partition, entry_buckets[i],
+                    rpc_timeout, outcomes, i)))
+            if absorbers:
+                yield AllOf(self.sim, absorbers)
+            failures = [error for error in outcomes.values()
+                        if isinstance(error, Exception)]
+            if failures:
+                raise RecoveryFailed(
+                    f"{len(failures)}/{len(partitions)} partitions failed "
+                    f"to absorb: {failures[0]!r}")
+            # 6. Fully drained: decommission the dead master's frozen
+            # witnesses (best effort) and drop it from the map.
+            for witness in managed.witnesses:
+                try:
+                    yield self.transport.call(
+                        witness, "end",
+                        GetRecoveryDataArgs(master_id=master_id),
+                        timeout=rpc_timeout)
+                except RpcError:
+                    continue
+            del self.masters[master_id]
+            self.config_version += 1
+            return {
+                "partitions": len(partitions),
+                "recovery_masters": [t.master_id
+                                     for t in targets[:len(partitions)]],
+                "log_end": log_end,
+                "witness_requests": len(requests),
+                "absorbed": {targets[i].master_id: stats
+                             for i, stats in outcomes.items()},
+            }
+        finally:
+            if master_id in self.masters:
+                managed.recovering = False
+
+    def _read_stripes(self, reachable: list[str], log_end: int,
+                      partitions, rpc_timeout: float):
+        """Generator: read the dead master's log once across the
+        backup set — each backup scans one index stripe, bucketing for
+        every partition — retrying failed stripes on surviving backups.
+        Returns one merged entry list per partition."""
+        buckets: list[list] = [[] for _ in partitions]
+        if log_end == 0 or not partitions:
+            return buckets
+        ranges = tuple(p.ranges for p in partitions)
+        pool = list(reachable)
+        count = len(pool)
+        bounds = [1 + (log_end * i) // count for i in range(count)]
+        bounds.append(log_end + 1)
+        pending = [(bounds[i], bounds[i + 1]) for i in range(count)
+                   if bounds[i] < bounds[i + 1]]
+        while pending:
+            if not pool:
+                raise RecoveryFailed(
+                    "every backup failed during partitioned stripe reads")
+            outcomes: dict[tuple[int, int], typing.Any] = {}
+            readers = []
+            assignment = {}
+            for i, window in enumerate(pending):
+                backup = pool[i % len(pool)]
+                assignment[window] = backup
+                readers.append(self.sim.process(self._read_one_stripe(
+                    backup, window, ranges, rpc_timeout, outcomes)))
+            yield AllOf(self.sim, readers)
+            failed = []
+            dead = set()
+            for window, backup in assignment.items():
+                reply = outcomes.get(window)
+                if reply is None:
+                    failed.append(window)
+                    dead.add(backup)
+                    continue
+                for bucket, stripe_entries in zip(buckets, reply):
+                    bucket.extend(stripe_entries)
+            pool = [b for b in pool if b not in dead]
+            pending = failed
+        return buckets
+
+    def _read_one_stripe(self, backup: str, window: tuple[int, int],
+                         ranges, rpc_timeout: float, outcomes: dict):
+        """Process body: one stripe read; failure leaves no outcome."""
+        try:
+            outcomes[window] = yield self.transport.call(
+                backup, "read_partitions",
+                PartitionReadArgs(index_lo=window[0], index_hi=window[1],
+                                  partitions=ranges),
+                timeout=rpc_timeout)
+        except RpcError:
+            pass
+
+    def _absorb_partition(self, managed: ManagedMaster,
+                          target: ManagedMaster, partition, entries,
+                          rpc_timeout: float, outcomes: dict, i: int):
+        """Process body: recover one partition onto ``target``.
+
+        The target's witnesses are widened *before* the absorb (as in
+        migration: an early record for the new ranges is harmless, a
+        rejected one after cutover would break the 1-RTT path), and the
+        coordinator's tablet bookkeeping moves only after the absorb
+        acks — the ack means the partition is installed, replayed, and
+        re-replicated on the target's own backups.
+        """
+        try:
+            if self.config.uses_witnesses:
+                yield from self._set_witness_ranges(
+                    target.witnesses, target.master_id,
+                    tuple(target.owned_ranges) + tuple(partition.ranges),
+                    rpc_timeout)
+            stats = yield from self._call_until_ok(
+                lambda: target.host, "absorb_partition",
+                AbsorbPartitionArgs(
+                    dead_master_id=managed.master_id, epoch=managed.epoch,
+                    ranges=tuple(partition.ranges),
+                    entries=tuple(entries),
+                    requests=tuple(partition.requests)),
+                rpc_timeout)
+            for cut in partition.ranges:
+                managed.owned_ranges = _subtract(managed.owned_ranges, cut)
+                if cut not in target.owned_ranges:
+                    target.owned_ranges.append(cut)
+            self.config_version += 1
+            if self.config.uses_witnesses:
+                # Heal any witness that restarted (losing the widening)
+                # while the absorb was in flight.
+                yield from self._set_witness_ranges(
+                    target.witnesses, target.master_id,
+                    tuple(target.owned_ranges), rpc_timeout,
+                    best_effort=True)
+            outcomes[i] = stats
+        except Exception as error:  # noqa: BLE001 - collected, reraised
+            # by the caller as RecoveryFailed with the partition kept
+            # on the dead master's (retryable) bookkeeping
+            outcomes[i] = error
 
     # ------------------------------------------------------------------
     # witness replacement (§3.6)
@@ -369,7 +609,8 @@ class Coordinator:
         managed = self.masters[master_id]
         if dead_backup not in managed.backups:
             raise ValueError(f"{dead_backup} is not a backup of {master_id}")
-        server = BackupServer(new_backup_host, master_id=master_id)
+        server = BackupServer(new_backup_host, master_id=master_id,
+                              storage=self.config.storage)
         server.min_epoch = 0
         self.backup_servers[new_backup_host.name] = server
         new_list = [new_backup_host.name if b == dead_backup else b

@@ -28,7 +28,7 @@ recovered lazily via commutativity.  The pieces:
   replay from one immutable witness, RIFL filtering (§3.3, §4.6).
 """
 
-from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.config import CurpConfig, ReplicationMode, StorageProfile
 from repro.core.witness_cache import WitnessCache
 from repro.core.witness import WitnessEndpoint, WitnessServer, WitnessStats
 from repro.core.master import CurpMaster
@@ -39,6 +39,7 @@ __all__ = [
     "CurpConfig",
     "CurpMaster",
     "ReplicationMode",
+    "StorageProfile",
     "UpdateOutcome",
     "WitnessCache",
     "WitnessEndpoint",

@@ -109,6 +109,89 @@ class OverloadConfig:
 
 
 @dataclasses.dataclass
+class StorageProfile:
+    """Virtual-time cost model for the backups' log-structured store
+    (segmented WAL + background compaction, docs/STORAGE.md).
+
+    Everything is **off by default** (``enabled=False``): backups keep
+    organising their entries into segments either way (that is pure
+    bookkeeping), but with the profile disabled every cost below is
+    zero, no cleaner task is spawned, and no rng is consulted — so the
+    PR 1–6 golden traces stay byte-identical.  When enabled, every
+    durable byte starts costing virtual disk time:
+
+    - ``replicate`` acks wait for the segment append (and any segment
+      rotation it triggers) to drain through the backup's single
+      virtual disk — the latency CURP hides behind witnesses;
+    - the background cleaner rewrites low-live-ratio sealed segments,
+      charging read amplification (scan the whole segment) and write
+      amplification (rewrite the survivors) on the same disk the
+      update path needs;
+    - recovery reads are charged per stored entry on each backup's
+      disk, which is what makes partitioned recovery's
+      read-once/replay-in-parallel shape measurable;
+    - tablet migration charges a per-object segment-transfer cost on
+      the source master.
+    """
+
+    enabled: bool = False
+    # -- segment geometry ------------------------------------------------
+    #: log entries per segment before the active segment is sealed and
+    #: a new one opened (RAMCloud: 8 MB segments; here we count entries
+    #: because the simulator's unit of work is the log entry)
+    segment_size: int = 128
+    # -- write path (µs of disk time) ------------------------------------
+    #: disk time to append one log entry to the active segment
+    append_time: float = 0.5
+    #: disk time to seal a full segment and open a fresh one
+    rotation_time: float = 20.0
+    # -- read path (µs of disk time) -------------------------------------
+    #: disk time to read one *stored* entry back (recovery, compaction
+    #: scans — read amplification is this cost times entries scanned)
+    read_entry_time: float = 0.3
+    # -- background cleaner ----------------------------------------------
+    #: cleaner wake-up period (µs); 0 = never spawn the cleaner task
+    compaction_interval: float = 0.0
+    #: sealed segments whose live-payload ratio drops below this are
+    #: cleaned on the next cleaner pass
+    compaction_live_ratio: float = 0.5
+    #: disk time to rewrite one surviving payload during cleaning
+    #: (write amplification = survivors rewritten / payloads reclaimed)
+    compaction_write_time: float = 0.5
+    # -- recovery master replay ------------------------------------------
+    #: CPU time for a recovery master to install one replayed entry
+    #: (hash, insert, version bookkeeping); this is the term that
+    #: partitioning across k recovery masters divides by k
+    replay_entry_time: float = 1.0
+    # -- migration ---------------------------------------------------------
+    #: per-object segment-transfer cost charged on the source master
+    #: during ``migrate_out`` (reading the tablet's objects out of its
+    #: backups' segments and shipping them)
+    migrate_entry_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
+        if self.append_time < 0:
+            raise ValueError("append_time must be >= 0")
+        if self.rotation_time < 0:
+            raise ValueError("rotation_time must be >= 0")
+        if self.read_entry_time < 0:
+            raise ValueError("read_entry_time must be >= 0")
+        if self.compaction_interval < 0:
+            raise ValueError("compaction_interval must be >= 0 "
+                             "(0 disables the cleaner)")
+        if not 0.0 < self.compaction_live_ratio <= 1.0:
+            raise ValueError("compaction_live_ratio must be in (0, 1]")
+        if self.compaction_write_time < 0:
+            raise ValueError("compaction_write_time must be >= 0")
+        if self.replay_entry_time < 0:
+            raise ValueError("replay_entry_time must be >= 0")
+        if self.migrate_entry_time < 0:
+            raise ValueError("migrate_entry_time must be >= 0")
+
+
+@dataclasses.dataclass
 class CurpConfig:
     """Knobs for masters, witnesses and clients."""
 
@@ -212,6 +295,12 @@ class CurpConfig:
     #: witness admission; disabled by default (golden-trace safe)
     overload: OverloadConfig = dataclasses.field(
         default_factory=OverloadConfig)
+
+    # -- durable storage model --------------------------------------------
+    #: segmented-WAL cost model for backups + recovery/migration data
+    #: movement; disabled by default (golden-trace safe)
+    storage: StorageProfile = dataclasses.field(
+        default_factory=StorageProfile)
 
     # -- lease management (§4.8) -----------------------------------------
     lease_check_interval: float = 50_000.0

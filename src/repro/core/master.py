@@ -34,6 +34,7 @@ import typing
 
 from repro.core.config import CurpConfig, ReplicationMode
 from repro.core.messages import (
+    AbsorbPartitionArgs,
     GcArgs,
     GcBatchArgs,
     LoadReport,
@@ -168,6 +169,8 @@ class CurpMaster:
                                 self._handle_update_backup_config)
         self.transport.register("migrate_out", self._handle_migrate_out)
         self.transport.register("migrate_in", self._handle_migrate_in)
+        self.transport.register("absorb_partition",
+                                self._handle_absorb_partition)
         self.transport.register("load_report", self._handle_load_report)
         self.transport.register("split_range", self._handle_split_range)
         self.transport.register("merge_ranges", self._handle_merge_ranges)
@@ -1032,6 +1035,13 @@ class CurpMaster:
                 if lo <= h < hi:
                     moved.append((key, self.store.read(key),
                                   self.store.version(key)))
+            storage = self.config.storage
+            if storage.enabled and storage.migrate_entry_time > 0 and moved:
+                # Segment-transfer cost: reading the tablet's objects
+                # out of the log-structured store and shipping them is
+                # not free once storage is modeled (docs/STORAGE.md).
+                yield self.sim.timeout(
+                    len(moved) * storage.migrate_entry_time)
             self.owned_ranges = _subtract_range(self.owned_ranges, (lo, hi))
             return tuple(moved)
         return work()
@@ -1048,6 +1058,78 @@ class CurpMaster:
                 self.owned_ranges.append((lo, hi))
             yield self._request_sync(self.store.log.end)
             return "OK"
+        return work()
+
+    def _handle_absorb_partition(self, args: AbsorbPartitionArgs, ctx):
+        """Partitioned recovery: absorb one partition of a dead
+        master's tablets (RAMCloud's recovery-master role).
+
+        Install the backed-up entries for the partition's ranges in log
+        order, record their RIFL completions, take ownership, replay
+        the witness-recovered speculative requests through the RIFL
+        filter, and sync to *this* master's backups before acking —
+        re-replication makes the absorbed data durable again, and the
+        coordinator only cuts routing over on the ack.  Idempotent for
+        coordinator retries: installs preserve versions and the replay
+        is filtered by the completion records the first attempt wrote.
+        """
+        self._check_serviceable()
+
+        def work():
+            storage = self.config.storage
+            entries = sorted(args.entries, key=lambda e: e.index)
+            if storage.enabled and storage.replay_entry_time > 0 and entries:
+                # Replay CPU — the term that partitioning across k
+                # recovery masters divides by k.
+                yield self.sim.timeout(
+                    len(entries) * storage.replay_entry_time)
+            installed = 0
+            for entry in entries:
+                for key, value, version in entry.effects:
+                    h = key_hash(key)
+                    if any(lo <= h < hi for lo, hi in args.ranges):
+                        self.store.install(key, value, version,
+                                           now=self.sim.now)
+                        installed += 1
+                if entry.rpc_id is not None:
+                    state, _ = self.registry.check(entry.rpc_id)
+                    if state is DuplicateState.NEW:
+                        self.registry.record(
+                            entry.rpc_id, entry.result,
+                            log_position=self.store.log.end)
+            # Anti-ABA (RAMCloud's safeVersion): speculative writes the
+            # dead master lost consumed versions beyond what its
+            # backups saw; never reissue them for absorbed keys.
+            self.store.raise_version_floor(
+                self.store.max_version_seen + 10_000)
+            for lo, hi in args.ranges:
+                if (lo, hi) not in self.owned_ranges:
+                    self.owned_ranges.append((lo, hi))
+            replayed = 0
+            filtered = 0
+            self.registry.begin_recovery()  # §4.8: ignore piggybacked acks
+            try:
+                for request in args.requests:
+                    op = request.op
+                    if not self.owns_all(op.touched_keys()):
+                        filtered += 1  # migrated-away keys (§3.6 filter)
+                        continue
+                    state, _ = self.registry.check(request.rpc_id)
+                    if state is not DuplicateState.NEW:
+                        filtered += 1  # already durable in the backup log
+                        continue
+                    result, entry = self.store.execute(
+                        op, rpc_id=request.rpc_id, now=self.sim.now)
+                    if entry is not None:
+                        self.registry.record(request.rpc_id, result,
+                                             log_position=entry.index)
+                    replayed += 1
+            finally:
+                self.registry.end_recovery()
+            if self.config.uses_backups:
+                yield self._request_sync(self.store.log.end)
+            return {"installed": installed, "replayed": replayed,
+                    "filtered": filtered}
         return work()
 
     # ------------------------------------------------------------------

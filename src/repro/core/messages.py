@@ -106,6 +106,27 @@ class GetRecoveryDataArgs:
 
 
 @dataclasses.dataclass(frozen=True)
+class AbsorbPartitionArgs:
+    """Partitioned recovery (§4.6 + RAMCloud fast recovery): a
+    surviving master absorbs one partition of a dead master's tablets —
+    installs the backed-up entries for those ranges, replays the
+    witness requests that hash into them, and syncs the result to its
+    own backups before acking."""
+
+    #: the crashed master whose data is being absorbed
+    dead_master_id: str
+    #: recovery epoch (observability; fencing already happened)
+    epoch: int
+    #: the [lo, hi) hash ranges this partition covers
+    ranges: tuple[tuple[int, int], ...]
+    #: backed-up log entries for the partition, any order (installed
+    #: sorted by index; effects outside ``ranges`` are skipped)
+    entries: tuple
+    #: witness-recovered speculative requests for the partition
+    requests: tuple
+
+
+@dataclasses.dataclass(frozen=True)
 class StartArgs:
     master_id: str
     #: the master's owned key-hash ranges at start time.  A witness that

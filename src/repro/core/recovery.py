@@ -20,11 +20,13 @@ complete a sync (§4.7).
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.core.config import CurpConfig
 from repro.core.master import CurpMaster
 from repro.core.messages import GetRecoveryDataArgs, RecordedRequest
+from repro.kvstore.hashing import key_hash
 from repro.rifl import DuplicateState
 from repro.rpc import AppError, RpcTimeout
 
@@ -35,6 +37,104 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 class RecoveryFailed(Exception):
     """No backup (or no witness) could be reached."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPartition:
+    """One recovery master's share of a dead master's data: the hash
+    ranges it will absorb plus the witness-recovered requests that hash
+    into them."""
+
+    ranges: tuple[tuple[int, int], ...]
+    requests: tuple[RecordedRequest, ...]
+
+    @property
+    def span(self) -> int:
+        return sum(hi - lo for lo, hi in self.ranges)
+
+
+def plan_partitions(owned_ranges: typing.Sequence[tuple[int, int]],
+                    n: int,
+                    requests: typing.Sequence[RecordedRequest] = (),
+                    ) -> list[RecoveryPartition]:
+    """Split a dead master's tablets into ≤ ``n`` recovery partitions.
+
+    The hash span is cut into ``n`` near-equal contiguous chunks (the
+    load-balancing half of RAMCloud's partitioned recovery), then
+    chunks spanned by a single witnessed multi-key request are merged:
+    a speculative ``MultiWrite`` must be replayed by *one* recovery
+    master that owns every key it touches, or the ``owns_all`` replay
+    filter would drop it everywhere.  Each witness request is assigned
+    to the partition holding its keys; requests whose keys fall outside
+    every partition (recorded for since-migrated keys) ride with the
+    first partition, whose replay filter discards them.
+    """
+    if n < 1:
+        raise ValueError("need at least one partition")
+    spans = sorted((lo, hi) for lo, hi in owned_ranges if hi > lo)
+    if not spans:
+        return []
+    total = sum(hi - lo for lo, hi in spans)
+    # -- cut the cumulative span at total*k/n ---------------------------
+    chunks: list[list[tuple[int, int]]] = [[]]
+    cum = 0
+    for lo, hi in spans:
+        start = lo
+        while start < hi:
+            k = len(chunks)  # chunks completed so far + 1 == current
+            next_cut = total if k >= n else (total * k) // n
+            room = next_cut - cum
+            if hi - start <= room or k >= n:
+                chunks[-1].append((start, hi))
+                cum += hi - start
+                start = hi
+            else:
+                if room > 0:
+                    chunks[-1].append((start, start + room))
+                cum += room
+                start += room
+                chunks.append([])
+    chunks = [c for c in chunks if c]
+
+    # -- merge chunks spanned by one multi-key request ------------------
+    parent = list(range(len(chunks)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def chunk_of(h: int) -> int | None:
+        for i, chunk in enumerate(chunks):
+            if any(lo <= h < hi for lo, hi in chunk):
+                return i
+        return None
+
+    request_chunks: list[tuple[RecordedRequest, int]] = []
+    for request in requests:
+        touched = {chunk_of(key_hash(key))
+                   for key in request.op.touched_keys()}
+        touched.discard(None)
+        if not touched:
+            request_chunks.append((request, 0))  # filtered at replay
+            continue
+        first, *rest = sorted(touched)
+        for other in rest:
+            parent[find(other)] = find(first)
+        request_chunks.append((request, first))
+
+    groups: dict[int, list[int]] = {}
+    for i in range(len(chunks)):
+        groups.setdefault(find(i), []).append(i)
+    partitions = []
+    for root in sorted(groups):
+        members = groups[root]
+        ranges = tuple(sorted(r for i in members for r in chunks[i]))
+        reqs = tuple(request for request, i in request_chunks
+                     if find(i) == root)
+        partitions.append(RecoveryPartition(ranges=ranges, requests=reqs))
+    return partitions
 
 
 def build_recovery_master(host: "Host", master_id: str, config: CurpConfig,

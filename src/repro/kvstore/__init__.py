@@ -31,10 +31,20 @@ from repro.kvstore.operations import (
 )
 from repro.kvstore.log import Log, LogEntry
 from repro.kvstore.store import KVStore, StoredObject
+from repro.kvstore.wal import (
+    BackupStats,
+    SegmentInfo,
+    SegmentedWal,
+    VirtualDisk,
+)
 from repro.kvstore.backup import BackupServer
 
 __all__ = [
     "BackupServer",
+    "BackupStats",
+    "SegmentInfo",
+    "SegmentedWal",
+    "VirtualDisk",
     "ConditionalMultiWrite",
     "ConditionalWrite",
     "KEEP",

@@ -26,3 +26,12 @@ def test_example_runs(script: pathlib.Path):
     assert result.returncode == 0, (
         f"{script.name} failed:\n{result.stdout}\n{result.stderr}")
     assert result.stdout.strip(), f"{script.name} printed nothing"
+    if script.name == "redis_durability.py":
+        # The WAL act must actually drive the storage model: segments
+        # seal, the cleaner reclaims, recovery partitions, nothing lost.
+        assert "segmented WAL" in result.stdout
+        assert "cleaner compacted" in result.stdout
+        assert "partitioned recovery" in result.stdout
+        assert "surviving the crash: 20/20" in result.stdout
+    if script.name == "quickstart.py":
+        assert "all acknowledged updates survived" in result.stdout

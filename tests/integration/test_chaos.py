@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.config import CurpConfig, ReplicationMode, StorageProfile
 from repro.harness import build_cluster
 from repro.kvstore import Increment, Write
 from repro.verify import (
@@ -215,6 +215,87 @@ def test_chaos_crash_source_master_mid_migration(seed, fast_completion,
         if acked:
             value = cluster.run(reader.read(key), timeout=10_000_000.0)
             assert value is not None, f"{key}: all acknowledged writes lost"
+
+
+@pytest.mark.parametrize("fast_completion, frame_coalescing",
+                         [(False, False), (True, False),
+                          (False, True), (True, True)])
+@pytest.mark.parametrize("seed", [41, 42])
+def test_chaos_partitioned_recovery_with_storage(seed, fast_completion,
+                                                 frame_coalescing):
+    """ISSUE 7 storm: with the segmented-WAL storage model *enabled*
+    (every backup append and recovery read gated by a virtual disk),
+    witnesses and backups bounce while clients run — then the master of
+    shard m0 crashes and is recovered by *partitioning* its tablets
+    across m1 and m2.  Clients riding through the recovery must
+    re-route to the new owners, the history must stay linearizable, and
+    every acknowledged write must survive on whichever shard now owns
+    its key."""
+    storage = StorageProfile(enabled=True, segment_size=16,
+                             append_time=0.05, rotation_time=0.5,
+                             read_entry_time=0.05, replay_entry_time=0.1)
+    config = CurpConfig(f=3, mode=ReplicationMode.CURP, min_sync_batch=8,
+                        idle_sync_delay=150.0, retry_backoff=30.0,
+                        rpc_timeout=200.0, max_attempts=100,
+                        fast_completion=fast_completion,
+                        frame_coalescing=frame_coalescing,
+                        storage=storage)
+    cluster = build_cluster(config, seed=seed, drop_rate=0.01, n_masters=3)
+    keys = [f"key-{i}" for i in range(12)]
+    history = History()
+    processes = []
+    acked: dict[str, str] = {}
+    for index in range(3):
+        client = HistoryClient(cluster.new_client(collect_outcomes=False),
+                               history)
+
+        def script(client=client, index=index):
+            rng = cluster.sim.rng
+            for op_number in range(25):
+                key = keys[rng.randrange(len(keys))]
+                if rng.random() < 0.6:
+                    value = f"c{index}-{op_number}"
+                    outcome = yield from client.update(Write(key, value))
+                    if outcome is not None:
+                        acked[key] = value
+                else:
+                    yield from client.read(key)
+                yield cluster.sim.timeout(rng.uniform(0, 80.0))
+        processes.append(client.client.host.spawn(script(), name="load"))
+
+    def storm():
+        rng = cluster.sim.rng
+        # Bounce a backup and a witness of m0 while its WAL is hot.
+        for pool in (cluster.backup_hosts["m0"],
+                     cluster.witness_hosts["m0"]):
+            yield cluster.sim.timeout(rng.uniform(100.0, 300.0))
+            host = cluster.network.hosts[pool[rng.randrange(len(pool))]]
+            host.crash()
+            yield cluster.sim.timeout(rng.uniform(50.0, 200.0))
+            host.restart()
+        yield cluster.sim.timeout(rng.uniform(100.0, 300.0))
+        cluster.master("m0").host.crash()
+        yield cluster.sim.timeout(150.0)
+        yield cluster.sim.process(
+            cluster.coordinator.recover_master_partitioned(
+                "m0", ["m1", "m2"], rpc_timeout=1_000_000.0))
+
+    storm_process = cluster.sim.process(storm())
+    deadline = cluster.sim.now + 50_000_000.0
+    while not all(p.triggered for p in processes + [storm_process]):
+        if cluster.sim.now > deadline or not cluster.sim.step():
+            break
+    assert all(p.triggered for p in processes), "clients stuck in chaos"
+    assert storm_process.triggered
+    assert "m0" not in cluster.coordinator.masters
+    assert cluster.shard_map.covers_full_range()
+    completed = sum(1 for r in history.records if not r.is_pending)
+    assert completed >= 3 * 25 * 0.7, "too few ops survived the storm"
+    check_linearizable(history)
+    reader = cluster.new_client()
+    for key, value in sorted(acked.items()):
+        observed = cluster.run(reader.read(key), timeout=10_000_000.0)
+        assert observed is not None, f"{key}: acknowledged write lost"
 
 
 @pytest.mark.parametrize("fast_completion, frame_coalescing",

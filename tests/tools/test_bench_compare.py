@@ -16,7 +16,7 @@ _spec.loader.exec_module(bench_compare)
 def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
              fig6=170_000, speedup=3.8, fig6_coalesced=170_000,
              messages_per_update=2.3, rebalance_ops=1_300_000,
-             overload_goodput=39_900) -> dict:
+             overload_goodput=39_900, recovery_time=1_250.0) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
@@ -35,6 +35,10 @@ def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
                      "retention": 0.99,
                      "collapse_ratio_off": 0.04,
                      "quiet_throttle_rate": 0.0},
+        "recovery": {"time_to_recover": recovery_time,
+                     "speedup_4_vs_1": 3.1,
+                     "compaction": {"sync_p99_on": 28.5,
+                                    "curp_p99_on": 4.0}},
     }
 
 
@@ -102,7 +106,7 @@ def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 9  # every gated metric uncomparable
+    assert len(failures) == 10  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
@@ -113,6 +117,7 @@ def test_missing_gated_metric_fails_the_gate():
     assert gated["rpc messages/update (coalesced)"]["status"] == "MISSING"
     assert gated["rebalance aggregate ops/s"]["status"] == "MISSING"
     assert gated["overload goodput@10x ops/s"]["status"] == "MISSING"
+    assert gated["recovery time-to-recover (µs)"]["status"] == "MISSING"
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +191,38 @@ def test_overload_side_metrics_are_informational():
     candidate = snapshot()
     candidate["overload"]["retention"] = 0.5
     candidate["overload"]["collapse_ratio_off"] = 0.9
+    _rows, failures = bench_compare.compare(
+        snapshot(), candidate, threshold=0.25)
+    assert failures == []
+
+
+# ----------------------------------------------------------------------
+# ISSUE 7: the partitioned-recovery lower-is-better gate
+# ----------------------------------------------------------------------
+def test_recovery_time_rise_fails_the_gate():
+    """time-to-recover is lower-is-better: a rise past the threshold
+    (striped reads / parallel absorb got slower) must fail."""
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(recovery_time=2_500.0), threshold=0.25)
+    assert len(failures) == 1
+    assert "recovery time-to-recover (µs)" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    row = gated["recovery time-to-recover (µs)"]
+    assert row["status"] == "REGRESSION"
+    assert row["delta"] > 0.25
+
+
+def test_recovery_time_drop_passes():
+    """Recovering faster than the baseline is an improvement."""
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(recovery_time=800.0), threshold=0.25)
+    assert failures == []
+
+
+def test_recovery_side_metrics_are_informational():
+    candidate = snapshot()
+    candidate["recovery"]["speedup_4_vs_1"] = 1.2
+    candidate["recovery"]["compaction"]["curp_p99_on"] = 30.0
     _rows, failures = bench_compare.compare(
         snapshot(), candidate, threshold=0.25)
     assert failures == []

@@ -66,6 +66,11 @@ GATED_METRICS_LOWER = (
     # ISSUE 4: wire transmissions per committed update, f = 3
     # pipelined with frames on (acceptance target ≤ 4, from ~8)
     ("rpc messages/update (coalesced)", ("rpc", "messages_per_update")),
+    # ISSUE 7: virtual time-to-recover a 2000-entry master onto 4
+    # recovery masters over the segmented-WAL model (deterministic per
+    # seed — a rise means striped reads, parallel replay or the absorb
+    # path got slower)
+    ("recovery time-to-recover (µs)", ("recovery", "time_to_recover")),
 )
 
 #: reported but never failing (wall-clock sensitive or informational)
@@ -91,6 +96,11 @@ INFO_METRICS = (
     ("overload collapse ratio (off)", ("overload", "collapse_ratio_off")),
     ("overload witness fairness (quiet throttle)",
      ("overload", "quiet_throttle_rate")),
+    ("recovery speedup 4 vs 1 masters", ("recovery", "speedup_4_vs_1")),
+    ("recovery sync p99 w/ cleaner (µs)",
+     ("recovery", "compaction", "sync_p99_on")),
+    ("recovery curp p99 w/ cleaner (µs)",
+     ("recovery", "compaction", "curp_p99_on")),
 )
 
 

@@ -39,7 +39,12 @@ Measures, in wall-clock terms:
   with the overload defenses on/off plus the shared-witness fairness
   split, from ``benchmarks/bench_overload.py`` — the defended goodput
   at 10× saturation (``overload.goodput_at_saturation``, virtual-time)
-  is CI-gated.
+  is CI-gated;
+- a ``recovery`` series (ISSUE 7): partitioned-recovery
+  time-to-recover vs recovery-master count over the segmented-WAL
+  storage model, plus the compaction-vs-tail-latency numbers, from
+  ``benchmarks/bench_recovery.py`` — ``recovery.time_to_recover``
+  (virtual µs at 4 recovery masters) is CI-gated lower-is-better.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -218,6 +223,34 @@ def _overload(scale: float) -> dict:
     }
 
 
+def _recovery() -> dict:
+    """Partitioned fast recovery + WAL compaction (ISSUE 7 acceptance
+    series): virtual-time, deterministic per seed.  ``time_to_recover``
+    is the 4-recovery-master point and gates lower-is-better."""
+    from benchmarks.bench_recovery import compaction_tail, recovery_scaling
+
+    started = time.perf_counter()
+    scaling = recovery_scaling()
+    tail = compaction_tail()
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "volume_entries": scaling["volume"],
+        "time_to_recover_by_masters": {
+            str(k): round(point["time_to_recover"], 1)
+            for k, point in scaling["by_masters"].items()},
+        "time_to_recover": round(scaling["time_to_recover"], 1),
+        "speedup_4_vs_1": round(scaling["speedup_4_vs_1"], 2),
+        "compaction": {
+            "sync_p99_off": round(tail["sync_off"]["p99"], 2),
+            "sync_p99_on": round(tail["sync_on"]["p99"], 2),
+            "sync_max_on": round(tail["sync_on"]["max"], 2),
+            "curp_p99_on": round(tail["curp_on"]["p99"], 2),
+            "segments_cleaned": tail["sync_on"]["segments_cleaned"],
+            "payloads_reclaimed": tail["sync_on"]["payloads_reclaimed"],
+        },
+    }
+
+
 def _curp_op_path(scale: float) -> dict:
     """Committed-ops/s through the full operation lifecycle (ISSUE 3
     acceptance series), from benchmarks/bench_curp_op_path.py."""
@@ -281,6 +314,7 @@ def snapshot(scale: float = 1.0) -> dict:
         "scaleout": _scaleout(),
         "rebalance": _rebalance(),
         "overload": _overload(scale),
+        "recovery": _recovery(),
     }
 
 
