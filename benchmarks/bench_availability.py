@@ -1,0 +1,275 @@
+"""Availability under injected faults: the self-healing loop, measured.
+
+Four canned :class:`~repro.net.faults.FaultPlan` scenarios run against
+the same small cluster while the open-loop engine offers steady
+traffic and the cluster watchdog (``FailureDetector`` with data-path
+probes) watches every member:
+
+- **kill-master** — the master host dies for good; the watchdog must
+  detect within its probe budget and drive a supervised recovery onto
+  a standby.  This is the scenario that produces a real unavailability
+  window, and ``availability.unavailability_window`` is the CI-gated
+  lower-is-better headline.
+- **gray-witness** — the witness keeps answering pings but drops all
+  data-path traffic.  A ping-only detector would wait forever; the
+  data probes convict it inside the evidence window and replace it.
+  Meanwhile clients ride the 2-RTT sync fallback, so goodput holds.
+- **one-way-partition** — master → backup traffic is blocked one way.
+  The nastiest of the four: syncs stall, so the first conflicting
+  updates wedge the worker pool *forever* while the master still
+  answers pings — a textbook gray failure.  The watchdog's master
+  data probes (reads through the worker pool) convict the wedged
+  host and recover onto the standby, whose backup link works; the
+  overload defenses keep the retry storm from collapsing the queue
+  in the meantime.
+- **slow-disk** — the backup's disk gets an order of magnitude slower
+  mid-run (storage model enabled for this scenario only).  The
+  speculative 1-RTT path hides it; sync acks queue behind the slow
+  disk and drain later — the cluster rides through.
+
+Acceptance (ISSUE 8): for kill-master and gray-witness,
+time-to-detect ≤ the configured probe budget and goodput retained
+≥ 80% outside the unavailability window.  All virtual-time,
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.baselines import curp_config
+from repro.cluster import FailureDetector
+from repro.core.config import OverloadConfig, StorageProfile
+from repro.harness.builder import build_cluster
+from repro.harness.profiles import TEST_PROFILE
+from repro.metrics import AvailabilityTracker, format_table
+from repro.net.faults import (FaultPlan, GrayHost, HostFlap, OneWayPartition,
+                              SlowDisk)
+from repro.workload.openloop import ConstantRate, OpenLoopEngine, TenantSpec
+from repro.workload.ycsb import YcsbWorkload
+
+#: 2 workers × 50 µs/op ≈ 40k ops/s of capacity; we offer half that so
+#: every goodput dip is attributable to the fault, not saturation
+AVAIL_PROFILE = dataclasses.replace(TEST_PROFILE, name="availability",
+                                    master_workers=2, execute_time=50.0)
+RATE_OPS_PER_SEC = 20_000.0
+
+#: wide key space keeps update conflicts (which force sync-path waits)
+#: rare, so the riding-through scenarios measure the fault, not zipf
+MIX = YcsbWorkload(name="avail-mix", read_fraction=0.5, item_count=2_000,
+                   value_size=8)
+
+FAULT_START = 20_000.0
+FAULT_END = 35_000.0          # transient scenarios heal here
+DURATION = 70_000.0
+MEASURE_START = 5_000.0       # client connect/ramp excluded from baseline
+SLO = 30_000.0
+
+#: watchdog tuning, and the probe budget its detections are held to:
+#: miss_threshold failing checks (each burning up to an interval plus
+#: a full probe deadline) plus one cycle of phase.  The data-probe SLO
+#: is looser than the ping timeout — a master probe rides through the
+#: worker queue, and ordinary queueing must not read as gray.
+INTERVAL = 500.0
+MISS_THRESHOLD = 3
+PING_TIMEOUT = 200.0
+DATA_PROBE_SLO = 1_000.0
+PROBE_BUDGET = (MISS_THRESHOLD + 1) * (INTERVAL + DATA_PROBE_SLO)
+
+#: the PR-6 overload defenses, on: fault windows breed retry storms,
+#: and without admission control the master's worker queue grows
+#: seconds deep during an outage — goodput then never recovers after
+#: the heal (congestion collapse), which is exactly what these bound
+OVERLOAD = OverloadConfig(enabled=True, max_queue_depth=16,
+                          retry_after=300.0, retry_after_cap=3_000.0)
+MAX_QUEUE_WAIT = 5_000.0
+
+
+def _config(storage: StorageProfile | None = None):
+    overrides = dict(rpc_timeout=500.0, max_attempts=40,
+                     retry_backoff=100.0, idle_sync_delay=200.0,
+                     overload=OVERLOAD)
+    if storage is not None:
+        overrides["storage"] = storage
+    return curp_config(1, **overrides)
+
+
+def _run_scenario(make_plan, storage: StorageProfile | None = None,
+                  seed: int = 17, duration: float = DURATION) -> dict:
+    """Build a cluster + watchdog, inject ``make_plan(cluster)``, offer
+    open-loop traffic, and score the run."""
+    cluster = build_cluster(_config(storage), profile=AVAIL_PROFILE,
+                            seed=seed)
+    master_standby = cluster.add_host("avail-m-standby", role="master")
+    witness_standby = cluster.add_host("avail-w-standby", role="witness")
+    backup_standby = cluster.add_host("avail-b-standby", role="backup")
+    detector = FailureDetector(
+        cluster.coordinator, [master_standby],
+        interval=INTERVAL, miss_threshold=MISS_THRESHOLD,
+        ping_timeout=PING_TIMEOUT,
+        witness_standbys=[witness_standby],
+        backup_standbys=[backup_standby],
+        data_probes=True, data_probe_slo=DATA_PROBE_SLO,
+        gray_threshold=MISS_THRESHOLD)
+    detector.start()
+    plan = make_plan(cluster)
+    injector = cluster.inject_faults(plan)
+    engine = OpenLoopEngine(
+        cluster,
+        [TenantSpec("avail", ConstantRate(RATE_OPS_PER_SEC), MIX,
+                    n_clients=8)],
+        max_window=64, max_queue_wait=MAX_QUEUE_WAIT, slo=SLO,
+        record_timeline=True)
+    result = engine.run(duration=duration)
+    detector.stop()
+    injector.heal_all()
+
+    tracker = AvailabilityTracker(cluster.sim)
+    tracker.mark_fault(FAULT_START)
+    tracker.observe_watchdog(detector)
+    completions = result["per_tenant"]["avail"]["completions"]
+    report = tracker.report(completions, measure_end=duration,
+                            measure_start=MEASURE_START)
+    report["goodput"] = result["goodput"]
+    report["failed"] = result["failed"]
+    report["detector"] = {
+        "recoveries_completed": detector.recoveries_completed,
+        "witnesses_replaced": detector.witnesses_replaced,
+        "backups_replaced": detector.backups_replaced,
+        "gray_detected": detector.gray_detected,
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+# the canned plans
+# ----------------------------------------------------------------------
+def kill_master_plan(cluster) -> FaultPlan:
+    """Permanent master kill: only the watchdog brings service back."""
+    master_host = cluster.coordinator.masters["m0"].host
+    return FaultPlan(events=(HostFlap(host=master_host,
+                                      start=FAULT_START),), seed=5)
+
+
+def gray_witness_plan(cluster) -> FaultPlan:
+    """The witness stays pingable but its data path goes dark."""
+    witness = cluster.coordinator.masters["m0"].witnesses[0]
+    return FaultPlan(events=(GrayHost(host=witness, allow=("ping",),
+                                      start=FAULT_START),), seed=5)
+
+
+def one_way_partition_plan(cluster) -> FaultPlan:
+    """master → backup blocked one way, transient; CURP rides through."""
+    managed = cluster.coordinator.masters["m0"]
+    return FaultPlan(events=(OneWayPartition(src=managed.host,
+                                             dst=managed.backups[0],
+                                             start=FAULT_START,
+                                             end=FAULT_END),), seed=5)
+
+
+def slow_disk_plan(cluster) -> FaultPlan:
+    """The backup's disk degrades 10×, transient (fail-slow).
+
+    10× is the ride-through regime: sync batches drain slower but
+    conflict-path worker holds stay under the data-probe SLO.  A much
+    slower disk (50×+) pushes sync waits past the SLO and the watchdog
+    *escalates* — it convicts the starved master as gray and recovers,
+    which is the right call when the data path is that degraded but is
+    not what this scenario measures."""
+    backup = cluster.coordinator.masters["m0"].backups[0]
+    return FaultPlan(events=(SlowDisk(host=backup, multiplier=10.0,
+                                      start=FAULT_START,
+                                      end=FAULT_END),), seed=5)
+
+
+def availability_suite(seed: int = 17) -> dict:
+    """All four canned scenarios; the snapshot/gate series reads this."""
+    reports = {
+        "kill_master": _run_scenario(kill_master_plan, seed=seed),
+        "gray_witness": _run_scenario(gray_witness_plan, seed=seed),
+        "one_way_partition": _run_scenario(one_way_partition_plan,
+                                           seed=seed),
+        "slow_disk": _run_scenario(
+            slow_disk_plan, seed=seed,
+            storage=StorageProfile(enabled=True, append_time=0.5,
+                                   rotation_time=20.0)),
+    }
+    return {
+        "probe_budget": PROBE_BUDGET,
+        "scenarios": reports,
+        "unavailability_window":
+            reports["kill_master"]["unavailability_window"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_availability_under_faults(benchmark, scale):
+    series = run_once(benchmark, availability_suite)
+    scenarios = series["scenarios"]
+
+    rows = []
+    for name, report in scenarios.items():
+        rows.append([
+            name,
+            "-" if report["time_to_detect"] is None
+            else round(report["time_to_detect"]),
+            "-" if report["mttr"] is None else round(report["mttr"]),
+            round(report["unavailability_window"]),
+            f"{report['goodput_retained']:.2f}",
+            round(report["baseline_goodput"]),
+        ])
+    print()
+    print(format_table(
+        ["scenario", "detect (µs)", "mttr (µs)", "unavailable (µs)",
+         "goodput retained", "baseline/s"],
+        rows,
+        title=f"Availability under canned fault plans "
+              f"(probe budget {round(series['probe_budget'])} µs)"))
+
+    kill = scenarios["kill_master"]
+    gray = scenarios["gray_witness"]
+    # ISSUE 8 acceptance: detection within the probe budget...
+    assert kill["time_to_detect"] is not None \
+        and kill["time_to_detect"] <= PROBE_BUDGET, \
+        f"kill-master detect {kill['time_to_detect']} > {PROBE_BUDGET}"
+    assert gray["time_to_detect"] is not None \
+        and gray["time_to_detect"] <= PROBE_BUDGET, \
+        f"gray-witness detect {gray['time_to_detect']} > {PROBE_BUDGET}"
+    # ...the self-healing loop actually repaired...
+    assert kill["detector"]["recoveries_completed"] == 1
+    assert gray["detector"]["gray_detected"] == 1
+    assert gray["detector"]["witnesses_replaced"] == 1
+    # ...and goodput outside the unavailability window held ≥ 80%.
+    assert kill["goodput_retained"] >= 0.8, \
+        f"kill-master retained only {kill['goodput_retained']:.2f}"
+    assert gray["goodput_retained"] >= 0.8, \
+        f"gray-witness retained only {gray['goodput_retained']:.2f}"
+    # One-way partition: the wedged master (pings fine, workers stuck
+    # syncing into the blocked link) is convicted gray by the data
+    # probes and recovered onto the standby — service returns while
+    # the partition persists, not when it happens to heal.
+    oneway = scenarios["one_way_partition"]
+    assert oneway["time_to_detect"] is not None \
+        and oneway["time_to_detect"] <= PROBE_BUDGET, \
+        f"one-way detect {oneway['time_to_detect']} > {PROBE_BUDGET}"
+    assert oneway["detector"]["gray_detected"] == 1
+    assert oneway["detector"]["recoveries_completed"] == 1
+    assert oneway["goodput_retained"] >= 0.8, \
+        f"one-way retained only {oneway['goodput_retained']:.2f}"
+    assert oneway["unavailability_window"] <= 10_000.0, \
+        f"one-way dark for {oneway['unavailability_window']} µs " \
+        f"(self-healing should beat the 15 ms fault duration)"
+    # Slow disk at 10× is the ride-through regime: the 1-RTT path does
+    # not wait for backups, nothing to detect, nothing replaced.
+    slow = scenarios["slow_disk"]
+    assert slow["detector"]["gray_detected"] == 0
+    assert slow["goodput_retained"] >= 0.8, \
+        f"slow-disk retained only {slow['goodput_retained']:.2f}"
+    assert slow["unavailability_window"] <= 4_000.0, \
+        f"slow-disk went dark for {slow['unavailability_window']} µs"
+    benchmark.extra_info["unavailability_window"] = \
+        series["unavailability_window"]
+    benchmark.extra_info["kill_master_detect"] = kill["time_to_detect"]

@@ -315,9 +315,20 @@ class Coordinator:
                     managed.witnesses, master_id,
                     tuple(managed.owned_ranges), rpc_timeout,
                     best_effort=True)
+            old_host = managed.host
             managed.host = new_host.name
             managed.master = new_master
             self.config_version += 1
+            # Best-effort depose notice to the replaced host: fencing
+            # already blocks its syncs, but a zombie that cannot reach
+            # its backups (one-way partition) never learns it was
+            # fenced and would shed clients with retryable pushback
+            # forever.  Fire-and-forget — dead hosts just time out.
+            if old_host != new_host.name:
+                self.host.spawn(
+                    self._depose_zombie(old_host, managed.epoch,
+                                        rpc_timeout),
+                    name=f"depose-{old_host}")
             # 6. Restore the replication factor from spares, if any died.
             missing = self.config.f - len(managed.backups)
             while missing > 0 and self.backup_spares:
@@ -335,6 +346,14 @@ class Coordinator:
             return stats
         finally:
             managed.recovering = False
+
+    def _depose_zombie(self, old_host: str, epoch: int,
+                       rpc_timeout: float):
+        try:
+            yield self.transport.call(old_host, "depose", epoch,
+                                      timeout=rpc_timeout)
+        except RpcError:
+            pass  # dead, unreachable, or already deposed — all fine
 
     # ------------------------------------------------------------------
     # partitioned fast recovery (RAMCloud-style, docs/STORAGE.md)

@@ -1,20 +1,57 @@
-"""Ping-based master failure detection.
+"""The cluster watchdog: failure detection and self-healing repair.
 
 The paper leaves crash *detection* to the underlying system (RAMCloud
-pings through its coordinator).  This detector pings every master on an
-interval; after ``miss_threshold`` consecutive misses it drives
-:meth:`~repro.cluster.coordinator.Coordinator.recover_master` with the
-next standby host.
+pings through its coordinator, §4.7).  This watchdog closes the whole
+loop, in three tiers:
 
-It runs as a host process on the coordinator; ``stop()`` ends the loop
-(simulations that ``run()`` to queue exhaustion must stop it first).
+- **Masters** — ping on an interval; ``miss_threshold`` consecutive
+  misses drive :meth:`~repro.cluster.coordinator.Coordinator.\
+recover_master` onto the next standby.  Recovery is *supervised*: a
+  :class:`~repro.core.recovery.RecoveryFailed` returns the standby to
+  the pool and re-arms the miss counter so the next interval retries,
+  instead of silently leaking the standby (the pre-watchdog bug).
+- **Witnesses and backups** (``watch_witnesses``/``watch_backups``) —
+  the same ping discipline, driving the coordinator's
+  ``replace_witness``/``replace_backup`` paths that previously nothing
+  ever invoked automatically.  A replacement standby is popped per
+  (master, dead host) pair — witness servers are single-tenant — and
+  returned to the pool if the replacement fails.
+- **Gray failures** (``data_probes``) — a host that still answers
+  ``ping`` while its data path is dead never goes silent, so a
+  ping-only detector waits forever.  The watchdog therefore also sends
+  timed *data-path* probes: each witness gets a real ``probe`` RPC
+  (the code path client records take), and each master a ``read`` of
+  a dedicated never-written key it owns — a round trip through the
+  admission check and the worker pool, so a master whose workers are
+  all wedged (e.g. stuck syncing across a one-way partition) fails the
+  probe while its ping, which needs no worker, still succeeds.  An
+  evidence window per (master, host) accumulates the outcomes:
+  ``gray_threshold`` data-probe failures inside ``evidence_window`` µs
+  while pings still succeed convicts the host as gray — it is
+  quarantined and replaced (witness) or recovered onto a standby
+  (master) immediately rather than waiting for a silence that never
+  comes.  Master probes bypass admission shedding (they must time the
+  worker pool itself), and a master that answers with an application
+  error is overloaded or mid-migration, not gray — only timeouts are
+  gray evidence.
+
+Detection and repair times are logged in :attr:`detections` and
+:attr:`repairs` — the availability benchmarks read time-to-detect and
+MTTR straight off these timelines.
+
+The watchdog runs as a host process on the coordinator; ``stop()``
+ends the loop (simulations that ``run()`` to queue exhaustion must
+stop it first).
 """
 
 from __future__ import annotations
 
 import typing
 
-from repro.rpc import RpcError
+from repro.core.messages import ProbeArgs, ReadArgs
+from repro.core.recovery import RecoveryFailed
+from repro.kvstore.hashing import key_hash
+from repro.rpc import AppError, RpcError
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.coordinator import Coordinator
@@ -22,21 +59,73 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 
 class FailureDetector:
-    """Detects crashed masters and triggers recovery."""
+    """Detects crashed/gray cluster members and triggers repair."""
 
     def __init__(self, coordinator: "Coordinator",
                  standby_hosts: typing.Sequence["Host"],
                  interval: float = 1_000.0, miss_threshold: int = 3,
-                 ping_timeout: float = 500.0):
+                 ping_timeout: float = 500.0,
+                 witness_standbys: typing.Sequence["Host"] = (),
+                 backup_standbys: typing.Sequence["Host"] = (),
+                 watch_witnesses: bool = False,
+                 watch_backups: bool = False,
+                 data_probes: bool = False,
+                 data_probe_slo: float | None = None,
+                 evidence_window: float | None = None,
+                 gray_threshold: int = 3,
+                 quarantine_isolate: bool = False):
         self.coordinator = coordinator
         self.sim = coordinator.sim
         self.standby_hosts = list(standby_hosts)
         self.interval = interval
         self.miss_threshold = miss_threshold
         self.ping_timeout = ping_timeout
+        # -- watchdog extensions (all off by default) -------------------
+        self.witness_standbys = list(witness_standbys)
+        self.backup_standbys = list(backup_standbys)
+        self.watch_witnesses = watch_witnesses or bool(witness_standbys)
+        self.watch_backups = watch_backups or bool(backup_standbys)
+        self.data_probes = data_probes
+        #: a data probe slower than this is a failure even if it
+        #: eventually answers (fail-slow = failed); default: the ping
+        #: timeout, i.e. only outright timeouts fail
+        self.data_probe_slo = (data_probe_slo if data_probe_slo is not None
+                               else ping_timeout)
+        #: how far back data-probe evidence counts toward a gray
+        #: verdict; the default leaves room for ``gray_threshold``
+        #: probes that each burn their full SLO before failing
+        self.evidence_window = (
+            evidence_window if evidence_window is not None
+            else (gray_threshold + 1) * (interval + self.data_probe_slo))
+        self.gray_threshold = gray_threshold
+        #: additionally cut a convicted gray host off the network (a
+        #: quarantine fence, so its half-alive control path cannot
+        #: confuse anyone else)
+        self.quarantine_isolate = quarantine_isolate
+        # -- state ------------------------------------------------------
         self._misses: dict[str, int] = {}
+        self._member_misses: dict[str, int] = {}
+        #: (master_id, host) → [(time, ok), ...] data-probe evidence
+        self._evidence: dict[tuple[str, str], list[tuple[float, bool]]] = {}
+        #: master_id → (owned_ranges snapshot, probe key) — a key the
+        #: master owns but no client ever writes, found by trial hashing
+        self._probe_keys: dict[str, tuple[tuple, str]] = {}
+        #: replacements in flight, as (master_id, dead host) pairs
+        self._replacing: set[tuple[str, str]] = set()
+        #: hosts convicted as gray (never un-convicted)
+        self.quarantined: set[str] = set()
         self._running = False
+        # -- counters and timelines -------------------------------------
         self.recoveries_started = 0
+        self.recoveries_failed = 0
+        self.recoveries_completed = 0
+        self.witnesses_replaced = 0
+        self.backups_replaced = 0
+        self.gray_detected = 0
+        #: (virtual time, kind, target) — kind in {"master",
+        #: "witness", "backup", "gray-witness", "gray-master"}
+        self.detections: list[tuple[float, str, str]] = []
+        self.repairs: list[tuple[float, str, str]] = []
 
     def start(self) -> None:
         if self._running:
@@ -47,29 +136,256 @@ class FailureDetector:
     def stop(self) -> None:
         self._running = False
 
+    # ------------------------------------------------------------------
+    # the watch loop
+    # ------------------------------------------------------------------
     def _loop(self):
         while self._running:
             yield self.sim.timeout(self.interval)
             if not self._running:
                 return
-            for master_id, managed in list(self.coordinator.masters.items()):
-                if managed.recovering:
-                    continue
-                alive = yield from self._ping(managed.host)
-                if alive:
-                    self._misses[master_id] = 0
-                    continue
-                self._misses[master_id] = self._misses.get(master_id, 0) + 1
-                if self._misses[master_id] >= self.miss_threshold:
-                    self._misses[master_id] = 0
-                    if not self.standby_hosts:
-                        continue  # nowhere to recover to
-                    standby = self.standby_hosts.pop(0)
-                    self.recoveries_started += 1
-                    self.coordinator.host.spawn(
-                        self.coordinator.recover_master(master_id, standby),
-                        name=f"recover-{master_id}")
+            yield from self._check_masters()
+            if not self._running:
+                return
+            if self.watch_witnesses:
+                yield from self._check_witnesses()
+            if self.watch_backups:
+                yield from self._check_backups()
 
+    def _check_masters(self):
+        for master_id, managed in list(self.coordinator.masters.items()):
+            if managed.recovering:
+                continue
+            alive = yield from self._ping(managed.host)
+            if alive:
+                self._misses[master_id] = 0
+                if self.data_probes and managed.host not in self.quarantined:
+                    yield from self._probe_master(master_id, managed)
+                continue
+            self._misses[master_id] = self._misses.get(master_id, 0) + 1
+            if self._misses[master_id] >= self.miss_threshold:
+                self._misses[master_id] = 0
+                self.detections.append((self.sim.now, "master", master_id))
+                self._start_recovery(master_id)
+
+    def _start_recovery(self, master_id: str,
+                        unquarantine: str | None = None) -> None:
+        if not self.standby_hosts:
+            return  # nowhere to recover to
+        standby = self.standby_hosts.pop(0)
+        self.recoveries_started += 1
+        self.coordinator.host.spawn(
+            self._supervised_recovery(master_id, standby, unquarantine),
+            name=f"recover-{master_id}")
+
+    def _probe_master(self, master_id: str, managed):
+        """Data-path probe of a pingable master, plus the evidence
+        bookkeeping and gray conviction (mirrors the witness path but
+        repairs by *recovery* — a gray master's data is on backups)."""
+        host = managed.host
+        ok = yield from self._data_probe_master(master_id, managed)
+        if managed.recovering or managed.host != host \
+                or host in self.quarantined:
+            return  # someone else convicted/recovered while we probed
+        if self._convicted(master_id, host, ok):
+            self.gray_detected += 1
+            self.quarantined.add(host)
+            self.detections.append((self.sim.now, "gray-master", master_id))
+            if self.quarantine_isolate:
+                self.coordinator.network.isolate(host)
+            # Recovery onto a standby abandons the wedged host; if it
+            # fails, un-quarantine so fresh evidence can retry.
+            self._start_recovery(master_id, unquarantine=host)
+
+    def _convicted(self, master_id: str, host: str, ok: bool) -> bool:
+        """Append one data-probe outcome to the (master, host) evidence
+        window; True when failures reach ``gray_threshold``."""
+        evidence = self._evidence.setdefault((master_id, host), [])
+        evidence.append((self.sim.now, ok))
+        horizon = self.sim.now - self.evidence_window
+        while evidence and evidence[0][0] < horizon:
+            evidence.pop(0)
+        return sum(1 for _t, good in evidence if not good) \
+            >= self.gray_threshold
+
+    def _supervised_recovery(self, master_id: str, standby: "Host",
+                             unquarantine: str | None = None):
+        """Run one recovery attempt; on failure, return the standby to
+        the pool and re-arm suspicion so the next interval retries."""
+        try:
+            yield from self.coordinator.recover_master(master_id, standby)
+        except RecoveryFailed:
+            self.recoveries_failed += 1
+            self.standby_hosts.append(standby)
+            # One more miss re-crosses the threshold: retry promptly
+            # but still require fresh evidence of silence.
+            self._misses[master_id] = self.miss_threshold - 1
+            # A gray conviction that failed to recover must be re-won
+            # from fresh probe evidence, not remembered forever.
+            if unquarantine is not None:
+                self.quarantined.discard(unquarantine)
+                self._evidence.pop((master_id, unquarantine), None)
+        else:
+            self.recoveries_completed += 1
+            self.repairs.append((self.sim.now, "master", master_id))
+
+    # ------------------------------------------------------------------
+    # witnesses: silence AND gray detection
+    # ------------------------------------------------------------------
+    def _check_witnesses(self):
+        pairs = [(master_id, witness)
+                 for master_id, managed in self.coordinator.masters.items()
+                 if not managed.recovering
+                 for witness in managed.witnesses]
+        for master_id, witness in pairs:
+            if (master_id, witness) in self._replacing \
+                    or witness in self.quarantined:
+                continue
+            alive = yield from self._ping(witness)
+            if not alive:
+                misses = self._member_misses.get(witness, 0) + 1
+                self._member_misses[witness] = misses
+                if misses >= self.miss_threshold:
+                    self._member_misses[witness] = 0
+                    self.detections.append((self.sim.now, "witness", witness))
+                    self._replace_witness_everywhere(witness)
+                continue
+            self._member_misses[witness] = 0
+            if not self.data_probes:
+                continue
+            ok = yield from self._data_probe(master_id, witness)
+            if self._convicted(master_id, witness, ok):
+                # Ping answers, data path dead: the gray conviction.
+                self.gray_detected += 1
+                self.quarantined.add(witness)
+                self.detections.append(
+                    (self.sim.now, "gray-witness", witness))
+                if self.quarantine_isolate:
+                    self.coordinator.network.isolate(witness)
+                self._replace_witness_everywhere(witness)
+
+    def _data_probe(self, master_id: str, witness: str):
+        """A timed data-path round trip: the witness's real ``probe``
+        RPC (any reply proves the record/probe path works; the reply
+        value does not matter).  The SLO is the deadline: an answer
+        slower than it is a failure — fail-slow counts as failed."""
+        try:
+            yield self.coordinator.transport.call(
+                witness, "probe",
+                ProbeArgs(master_id=master_id, key_hashes=()),
+                timeout=self.data_probe_slo)
+        except RpcError:
+            return False
+        return True
+
+    def _data_probe_master(self, master_id: str, managed):
+        """A timed data-path round trip through the master's worker
+        pool: ``read`` of an owned key no client ever writes, so it
+        never sync-waits yet must win a worker — exactly what a wedged
+        master cannot grant.  The probe bypasses admission shedding
+        (``ReadArgs.probe``): a merely overloaded pool drains it
+        within the SLO, a wedged one times out.  Application errors
+        (a ``WRONG_SHARD`` race with migration, explicit pushback)
+        are live answers, not gray evidence."""
+        try:
+            yield self.coordinator.transport.call(
+                managed.host, "read",
+                ReadArgs(key=self._probe_key(master_id, managed),
+                         probe=True),
+                timeout=self.data_probe_slo)
+        except AppError:
+            return True
+        except RpcError:
+            return False
+        return True
+
+    def _probe_key(self, master_id: str, managed) -> str:
+        """A key the master owns, from a namespace no workload uses,
+        found by trial hashing and cached until the owned ranges move
+        (splits/migrations invalidate the cache)."""
+        ranges = tuple(managed.owned_ranges)
+        cached = self._probe_keys.get(master_id)
+        if cached is not None and cached[0] == ranges:
+            return cached[1]
+        for i in range(10_000):
+            key = f"__watchdog-probe-{master_id}-{i}"
+            if any(lo <= key_hash(key) < hi for lo, hi in ranges):
+                self._probe_keys[master_id] = (ranges, key)
+                return key
+        raise ValueError(f"no probe key hashes into {master_id}'s ranges")
+
+    def _replace_witness_everywhere(self, dead: str) -> None:
+        """Spawn a replacement for *every* master served by ``dead``
+        (a shared witness host fails for all its masters at once);
+        each replacement consumes its own standby — witness servers
+        are single-tenant."""
+        for master_id, managed in list(self.coordinator.masters.items()):
+            if dead not in managed.witnesses \
+                    or (master_id, dead) in self._replacing:
+                continue
+            if not self.witness_standbys:
+                continue  # nowhere to replace to; retry next conviction
+            standby = self.witness_standbys.pop(0)
+            self._replacing.add((master_id, dead))
+            self.coordinator.host.spawn(
+                self._replace_witness(master_id, dead, standby),
+                name=f"replace-witness-{master_id}")
+
+    def _replace_witness(self, master_id: str, dead: str, standby: "Host"):
+        try:
+            yield from self.coordinator.replace_witness(
+                master_id, dead, standby)
+        except (RecoveryFailed, ValueError, KeyError):
+            self.witness_standbys.append(standby)
+        else:
+            self.witnesses_replaced += 1
+            self.repairs.append(
+                (self.sim.now, "witness", f"{master_id}:{standby.name}"))
+        finally:
+            self._replacing.discard((master_id, dead))
+
+    # ------------------------------------------------------------------
+    # backups
+    # ------------------------------------------------------------------
+    def _check_backups(self):
+        pairs = [(master_id, backup)
+                 for master_id, managed in self.coordinator.masters.items()
+                 if not managed.recovering
+                 for backup in managed.backups]
+        for master_id, backup in pairs:
+            if (master_id, backup) in self._replacing:
+                continue
+            alive = yield from self._ping(backup)
+            if alive:
+                self._member_misses[backup] = 0
+                continue
+            misses = self._member_misses.get(backup, 0) + 1
+            self._member_misses[backup] = misses
+            if misses >= self.miss_threshold:
+                self._member_misses[backup] = 0
+                self.detections.append((self.sim.now, "backup", backup))
+                if not self.backup_standbys:
+                    continue
+                standby = self.backup_standbys.pop(0)
+                self._replacing.add((master_id, backup))
+                self.coordinator.host.spawn(
+                    self._replace_backup(master_id, backup, standby),
+                    name=f"replace-backup-{master_id}")
+
+    def _replace_backup(self, master_id: str, dead: str, standby: "Host"):
+        try:
+            yield from self.coordinator.replace_backup(
+                master_id, dead, standby)
+        except (RecoveryFailed, ValueError, KeyError):
+            self.backup_standbys.append(standby)
+        else:
+            self.backups_replaced += 1
+            self.repairs.append(
+                (self.sim.now, "backup", f"{master_id}:{standby.name}"))
+        finally:
+            self._replacing.discard((master_id, dead))
+
+    # ------------------------------------------------------------------
     def _ping(self, host_name: str):
         try:
             reply = yield self.coordinator.transport.call(

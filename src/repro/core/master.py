@@ -175,6 +175,7 @@ class CurpMaster:
         self.transport.register("split_range", self._handle_split_range)
         self.transport.register("merge_ranges", self._handle_merge_ranges)
         self.transport.register("ping", lambda args, ctx: "PONG")
+        self.transport.register("depose", self._handle_depose)
         host.on_crash(self._on_crash)
 
         if lease_server is not None and config.lease_check_interval > 0:
@@ -457,7 +458,8 @@ class CurpMaster:
         self._check_serviceable()
         if not self.owns_all((args.key,)):
             raise AppError("WRONG_SHARD", {"master": self.master_id})
-        if self.config.overload.shed_reads and self._shedding():
+        if self.config.overload.shed_reads and self._shedding() \
+                and not args.probe:
             self.stats.shed_reads += 1
             raise AppError(RETRY_LATER, self._pushback_info())
         h = key_hash(args.key)
@@ -783,6 +785,21 @@ class CurpMaster:
             else:
                 still_waiting.append((target, event))
         self._sync_waiters = still_waiting
+
+    def _handle_depose(self, epoch: int, ctx) -> str:
+        """Coordinator → replaced master, after a recovery goes live.
+
+        Backup fencing (§4.7) already guarantees no zombie sync can
+        complete, but a zombie that cannot *reach* its backups (e.g. a
+        one-way partition — the very fault that got it replaced) never
+        sees FENCED and would keep shedding clients with retryable
+        pushback forever.  This direct notice makes it answer DEPOSED
+        so clients refresh their view and find the new master.  The
+        epoch guard keeps a delayed depose from killing a newer master
+        recovered back onto the same host."""
+        if epoch > self.epoch and not self.deposed:
+            self._become_deposed()
+        return "OK"
 
     def _become_deposed(self) -> None:
         """A backup fenced us: a recovery replaced this master (§4.7)."""

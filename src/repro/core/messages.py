@@ -40,6 +40,11 @@ class ReadArgs:
     allow_unsynced: bool = False
     #: return (value, version) instead of just the value
     return_version: bool = False
+    #: watchdog data-path probes bypass admission shedding: they
+    #: measure whether the worker pool drains (by timing out when it
+    #: does not), and a RETRY_LATER would hide a wedged pool behind
+    #: ordinary overload pushback
+    probe: bool = False
 
 
 @dataclasses.dataclass(frozen=True)

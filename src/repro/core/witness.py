@@ -136,6 +136,10 @@ class WitnessServer:
         if register:
             for method, handler in _WITNESS_RPC_HANDLERS:
                 self.transport.register(method, getattr(self, handler))
+            # Control-path liveness for the cluster watchdog; guarded
+            # because a colocated backup may share this transport.
+            if "ping" not in self.transport._handlers:
+                self.transport.register("ping", lambda args, ctx: "PONG")
         # NVM: no crash hook — cache contents survive crash/restart.
 
     # ------------------------------------------------------------------
@@ -337,6 +341,10 @@ class WitnessEndpoint:
         self.transport = transport or RpcTransport(host)
         for method, handler in _WITNESS_RPC_HANDLERS:
             self.transport.register(method, getattr(self, handler))
+        # Control-path liveness for the cluster watchdog; guarded
+        # because a colocated backup may share this transport.
+        if "ping" not in self.transport._handlers:
+            self.transport.register("ping", lambda args, ctx: "PONG")
         # Tenant caches are NVM and survive the crash, but flushes
         # buffered for a merge die with the host like any in-flight
         # request — and the armed flag must reset so the *next*

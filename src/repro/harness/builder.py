@@ -114,6 +114,17 @@ class Cluster:
         """Run the simulator for a while (drain syncs, timers)."""
         self.sim.run(until=self.sim.now + quiet)
 
+    def inject_faults(self, plan) -> "FaultInjector":
+        """Bind a :class:`~repro.net.faults.FaultPlan` to this cluster
+        and start it.  Empty plans schedule nothing and draw nothing
+        (the golden-trace contract); the returned injector exposes
+        ``applied``/``reverted`` timelines and ``heal_all()``."""
+        from repro.net.faults import FaultInjector
+        injector = FaultInjector(self.network, plan,
+                                 coordinator=self.coordinator)
+        injector.start()
+        return injector
+
     def start_rebalancer(self, **kwargs) -> "Rebalancer":
         """Start the load-driven rebalancer loop on the coordinator.
 

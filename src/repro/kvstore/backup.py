@@ -111,6 +111,11 @@ class BackupServer:
                                 self._handle_segment_index)
         self.transport.register("read_partitions",
                                 self._handle_read_partitions)
+        # Control-path liveness for the cluster watchdog.  Guarded: a
+        # colocated witness sharing this transport may have registered
+        # it first (and vice versa).
+        if "ping" not in self.transport._handlers:
+            self.transport.register("ping", lambda args, ctx: "PONG")
         # Backup storage is durable: no on_crash hook clears it.  The
         # cleaner task, though, dies with the host and is respawned on
         # restart (a fresh incarnation gets a fresh generator).

@@ -76,10 +76,15 @@ class VirtualDisk:
         self.free_at = 0.0
         #: cumulative IO time charged (utilization numerator)
         self.busy_time = 0.0
+        #: service-time scale, driven by SlowDisk faults (net/faults.py);
+        #: 1.0 = healthy, 50.0 = the fail-slow disk of §gray failures
+        self.multiplier = 1.0
 
     def charge(self, cost: float) -> float:
         if cost <= 0:
             return 0.0
+        if self.multiplier != 1.0:
+            cost *= self.multiplier
         start = max(self.sim.now, self.free_at)
         self.free_at = start + cost
         self.busy_time += cost

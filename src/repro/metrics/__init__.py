@@ -9,10 +9,13 @@ from repro.metrics.fairness import (
     bucketed_rates,
     jain_fairness,
 )
+from repro.metrics.availability import AvailabilityTracker, availability_report
 from repro.metrics.tables import format_table, format_distribution_rows
 
 __all__ = [
+    "AvailabilityTracker",
     "LatencyRecorder",
+    "availability_report",
     "bucketed_percentiles",
     "bucketed_rates",
     "ccdf_points",

@@ -1,0 +1,126 @@
+"""Availability accounting for fault-injection runs.
+
+Turns an open-loop completion timeline plus a fault/detection/repair
+schedule into the four numbers an availability story is gated on:
+
+- **time_to_detect** — fault start → the watchdog's detection entry;
+- **mttr** (mean time to repair) — fault start → the repair entry;
+- **unavailability window** — total virtual time, after the fault
+  lands, spent in buckets whose goodput fell below ``threshold`` ×
+  the pre-fault baseline (the cluster may be "up" for pings while
+  serving nothing — this measures what users see);
+- **goodput retained** — completion rate across the *available*
+  post-fault buckets as a fraction of baseline, i.e. how well the
+  cluster serves outside the unavailability window.
+
+All inputs are virtual-time (µs); completions are the
+``record_timeline=True`` output of
+:class:`~repro.workload.openloop.OpenLoopEngine` — (completion time,
+latency) pairs.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.metrics.fairness import bucketed_rates
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+def availability_report(
+        completions: typing.Sequence[tuple[float, float]],
+        fault_start: float,
+        measure_end: float,
+        detected_at: float | None = None,
+        repaired_at: float | None = None,
+        measure_start: float = 0.0,
+        bucket: float = 1_000.0,
+        threshold: float = 0.5) -> dict:
+    """Score one fault-injection run; see the module docstring.
+
+    ``measure_start`` excludes client ramp-up from the baseline.  A
+    run whose baseline is zero (nothing completed before the fault)
+    reports ``baseline_goodput=0`` and degenerate zeros — the caller's
+    scenario is broken and its assertions should catch that.
+    """
+    if not measure_start <= fault_start < measure_end:
+        raise ValueError(f"need measure_start <= fault_start < measure_end: "
+                         f"{measure_start}, {fault_start}, {measure_end}")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1]: {threshold}")
+    before = bucketed_rates(completions, bucket, measure_start, fault_start)
+    after = bucketed_rates(completions, bucket, fault_start, measure_end)
+    baseline = (sum(rate for _t, rate in before) / len(before)
+                if before else 0.0)
+    floor = threshold * baseline
+    unavailable = [(t, rate) for t, rate in after if rate < floor]
+    available = [(t, rate) for t, rate in after if rate >= floor]
+    retained_rate = (sum(rate for _t, rate in available) / len(available)
+                     if available else 0.0)
+    return {
+        "baseline_goodput": baseline,
+        "bucket": bucket,
+        "threshold": threshold,
+        "unavailability_window": len(unavailable) * bucket,
+        "unavailable_buckets": [t for t, _rate in unavailable],
+        "goodput_retained": (retained_rate / baseline if baseline else 0.0),
+        "time_to_detect": (None if detected_at is None
+                           else detected_at - fault_start),
+        "mttr": None if repaired_at is None else repaired_at - fault_start,
+        "goodput_series": before + after,
+    }
+
+
+class AvailabilityTracker:
+    """Collects fault/detect/repair marks against the virtual clock,
+    then scores a completion timeline.
+
+    The benchmark flow: ``mark_fault()`` when the injector applies the
+    scenario's headline event (or read the injector's ``applied`` log),
+    feed the watchdog's ``detections``/``repairs`` timelines through
+    :meth:`observe_watchdog`, and call :meth:`report` with the
+    engine's recorded completions.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.fault_start: float | None = None
+        self.detected_at: float | None = None
+        self.repaired_at: float | None = None
+
+    def mark_fault(self, at: float | None = None) -> None:
+        self.fault_start = self.sim.now if at is None else at
+
+    def mark_detected(self, at: float | None = None) -> None:
+        if self.detected_at is None:
+            self.detected_at = self.sim.now if at is None else at
+
+    def mark_repaired(self, at: float | None = None) -> None:
+        if self.repaired_at is None:
+            self.repaired_at = self.sim.now if at is None else at
+
+    def observe_watchdog(self, detector) -> None:
+        """Lift the first post-fault detection and repair out of a
+        :class:`~repro.cluster.failure_detector.FailureDetector`'s
+        timelines."""
+        if self.fault_start is None:
+            raise ValueError("mark_fault() first")
+        for when, _kind, _target in detector.detections:
+            if when >= self.fault_start:
+                self.mark_detected(when)
+                break
+        for when, _kind, _target in detector.repairs:
+            if when >= self.fault_start:
+                self.mark_repaired(when)
+                break
+
+    def report(self, completions, measure_end: float,
+               **kwargs) -> dict:
+        if self.fault_start is None:
+            raise ValueError("mark_fault() first")
+        return availability_report(
+            completions, fault_start=self.fault_start,
+            measure_end=measure_end, detected_at=self.detected_at,
+            repaired_at=self.repaired_at, **kwargs)

@@ -36,6 +36,10 @@ class TrafficStats:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        #: extra deliveries injected by per-link duplication faults
+        #: (net/faults.py); never counted in ``messages_sent``, so the
+        #: messages-per-update gates read the protocol's own traffic
+        self.messages_duplicated = 0
         #: RPC payloads carried by all transmissions (frame = len, else 1)
         self.payloads_sent = 0
         #: transmissions that were multi-payload frames
@@ -84,6 +88,23 @@ class Network:
         #: analysis, e.g. §5.2 payload-copy accounting); must not mutate
         self.taps: list[typing.Callable[[Message], None]] = []
         self._blocked: set[frozenset[str]] = set()
+        # -- fault-injection hooks (net/faults.py) ----------------------
+        # All empty/None by default: the hot paths below test falsiness
+        # once per transmission and take zero extra branches, draws or
+        # allocations until a FaultInjector installs something — the
+        # golden-trace contract.
+        #: directional blocks: (src, dst) pairs (one-way partitions)
+        self._blocked_oneway: set[tuple[str, str]] = set()
+        #: per-direction gray profiles: (src, dst) → LinkProfile
+        self._link_faults: dict[tuple[str, str], typing.Any] = {}
+        #: gray hosts: name → allowed inbound RPC methods; any other
+        #: inbound *request* is silently dropped (still answers pings)
+        self._gray_hosts: dict[str, tuple[str, ...]] = {}
+        #: the injector's dedicated rng (never ``sim.rng``); set by
+        #: FaultInjector.start()
+        self.fault_rng = None
+        #: single hot-path flag: True iff any fault hook is installed
+        self._faults_active = False
 
     # ------------------------------------------------------------------
     # topology
@@ -131,6 +152,96 @@ class Network:
         return frozenset((a, b)) in self._blocked
 
     # ------------------------------------------------------------------
+    # fault hooks (driven by net/faults.py; callable directly in tests)
+    # ------------------------------------------------------------------
+    def _refresh_faults_active(self) -> None:
+        self._faults_active = bool(self._blocked_oneway or self._gray_hosts
+                                   or self._link_faults)
+
+    def partition_one_way(self, src: str, dst: str) -> None:
+        """Block ``src → dst`` only; ``dst → src`` keeps flowing."""
+        self._blocked_oneway.add((src, dst))
+        self._faults_active = True
+
+    def heal_one_way(self, src: str, dst: str) -> None:
+        self._blocked_oneway.discard((src, dst))
+        self._refresh_faults_active()
+
+    def set_link_fault(self, src: str, dst: str, profile,
+                       symmetric: bool = False) -> None:
+        """Install a gray :class:`~repro.net.faults.LinkProfile` on
+        ``src → dst`` (both directions when ``symmetric``).  Profiles
+        with random behaviour need ``fault_rng`` set (the injector does
+        this)."""
+        self._link_faults[(src, dst)] = profile
+        if symmetric:
+            self._link_faults[(dst, src)] = profile
+        self._faults_active = True
+
+    def clear_link_fault(self, src: str, dst: str,
+                         symmetric: bool = False) -> None:
+        self._link_faults.pop((src, dst), None)
+        if symmetric:
+            self._link_faults.pop((dst, src), None)
+        self._refresh_faults_active()
+
+    def set_gray_host(self, name: str, allow: tuple[str, ...]) -> None:
+        """Make ``name`` gray: inbound RPC *requests* whose method is
+        not in ``allow`` are dropped; responses and non-RPC payloads
+        pass (the host still looks alive on the control path)."""
+        self._gray_hosts[name] = tuple(allow)
+        self._faults_active = True
+
+    def clear_gray_host(self, name: str) -> None:
+        self._gray_hosts.pop(name, None)
+        self._refresh_faults_active()
+
+    def _fault_verdict(self, src_name: str, dst: str,
+                       payload: typing.Any) -> "tuple[float, float] | None":
+        """Combined fault check for one transmission: ``None`` = drop,
+        else ``(extra_delay, duplicate_lag)`` (lag < 0 = no duplicate).
+        Only called when ``_faults_active``."""
+        if self._blocked_oneway and (src_name, dst) in self._blocked_oneway:
+            return None
+        if self._gray_hosts and not self._passes_gray(dst, payload):
+            return None
+        if self._link_faults:
+            return self._link_verdict(src_name, dst)
+        return 0.0, -1.0
+
+    def _passes_gray(self, dst: str, payload: typing.Any) -> bool:
+        """Does ``payload`` survive dst's gray filter?  Duck-typed on
+        the RPC request frame's ``method`` attribute so the network
+        stays independent of the rpc package: requests carry a method,
+        responses and raw payloads do not (and always pass)."""
+        allow = self._gray_hosts.get(dst)
+        if allow is None:
+            return True
+        method = getattr(payload, "method", None)
+        return method is None or method in allow
+
+    def _link_verdict(self, src_name: str,
+                      dst: str) -> "tuple[float, float] | None":
+        """Apply the gray-link profile for ``src → dst``, if any:
+        ``None`` = drop, else ``(extra_delay, duplicate_lag)`` with
+        ``duplicate_lag < 0`` meaning no duplicate.  Every roll comes
+        from the injector's dedicated ``fault_rng``."""
+        profile = self._link_faults.get((src_name, dst))
+        if profile is None:
+            return 0.0, -1.0
+        rng = self.fault_rng
+        if profile.loss_rate > 0 and rng.random() < profile.loss_rate:
+            return None
+        extra = profile.extra_delay
+        if profile.jitter > 0:
+            extra += rng.uniform(0.0, profile.jitter)
+        dup = -1.0
+        if profile.duplicate_rate > 0 \
+                and rng.random() < profile.duplicate_rate:
+            dup = rng.uniform(0.0, profile.duplicate_lag)
+        return extra, dup
+
+    # ------------------------------------------------------------------
     # transmission (called by Host.send after NIC serialization)
     # ------------------------------------------------------------------
     def _transmit(self, src: Host, dst: str, payload: typing.Any,
@@ -160,6 +271,15 @@ class Network:
             stats.messages_dropped += 1
             stats.payloads_dropped += 1
             return
+        extra = 0.0
+        dup = -1.0
+        if self._faults_active:
+            verdict = self._fault_verdict(src_name, dst, payload)
+            if verdict is None:
+                stats.messages_dropped += 1
+                stats.payloads_dropped += 1
+                return
+            extra, dup = verdict
         if self.drop_rate > 0 and sim.rng.random() < self.drop_rate:
             stats.messages_dropped += 1
             stats.payloads_dropped += 1
@@ -169,7 +289,11 @@ class Network:
         else:
             wire = self.latency.sample(sim.rng, src_name, dst)
         # departs_at >= now by construction (Host.send clamps to now).
-        sim._schedule_deliver(departs_at - sim.now + wire, target, message)
+        delay = departs_at - sim.now + wire + extra
+        sim._schedule_deliver(delay, target, message)
+        if dup >= 0.0:
+            stats.messages_duplicated += 1
+            sim._schedule_deliver(delay + dup, target, message)
 
     def _transmit_frame(self, src: Host, dst: str,
                         messages: "list[Message]",
@@ -209,6 +333,29 @@ class Network:
             stats.messages_dropped += 1
             stats.payloads_dropped += count
             return
+        extra = 0.0
+        dup = -1.0
+        if self._faults_active:
+            # A gray destination filters the frame's *contents*: each
+            # contained RPC request is checked individually, so allowed
+            # control traffic (pings) rides through while data-path
+            # requests sharing the frame vanish.
+            if self._gray_hosts and dst in self._gray_hosts:
+                kept = [m for m in messages
+                        if self._passes_gray(dst, m.payload)]
+                if len(kept) != count:
+                    stats.payloads_dropped += count - len(kept)
+                    if not kept:
+                        stats.messages_dropped += 1
+                        return
+                    messages = kept
+                    count = len(messages)
+            verdict = self._fault_verdict(src_name, dst, None)
+            if verdict is None:
+                stats.messages_dropped += 1
+                stats.payloads_dropped += count
+                return
+            extra, dup = verdict
         if self.drop_rate > 0 and sim.rng.random() < self.drop_rate:
             stats.messages_dropped += 1
             stats.payloads_dropped += count
@@ -221,4 +368,8 @@ class Network:
             payload: typing.Any = messages[0]
         else:
             payload = Frame(src_name, dst, messages, size_bytes, sim.now)
-        sim._schedule_deliver(departs_at - sim.now + wire, target, payload)
+        delay = departs_at - sim.now + wire + extra
+        sim._schedule_deliver(delay, target, payload)
+        if dup >= 0.0:
+            stats.messages_duplicated += 1
+            sim._schedule_deliver(delay + dup, target, payload)

@@ -127,6 +127,159 @@ def test_no_standby_means_no_recovery_but_loop_continues():
     detector.stop()
 
 
+def test_failed_recovery_returns_standby_and_retries():
+    """Regression for the standby leak: a RecoveryFailed (here: no
+    backup reachable to fence) must return the popped standby to the
+    pool and re-arm suspicion, so the detector retries once the cause
+    clears — instead of consuming the standby forever."""
+    cluster = detector_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    standby = cluster.add_host("leak-standby", role="master")
+    detector = make_detector(cluster, [standby])
+    detector.start()
+    managed = cluster.coordinator.masters["m0"]
+    backup_hosts = [cluster.network.host(b) for b in managed.backups]
+    cluster.master().host.crash()
+    for backup in backup_hosts:
+        backup.crash()
+    # Let at least one recovery attempt fail (fence cannot reach any
+    # backup while they are all down).
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    assert detector.recoveries_failed >= 1
+    assert detector.standby_hosts == [standby]       # returned, not leaked
+    assert detector._misses["m0"] == detector.miss_threshold - 1  # re-armed
+    # Cause clears: backups restart (their storage is durable)...
+    for backup in backup_hosts:
+        backup.restart()
+    cluster.sim.run(until=cluster.sim.now + 60_000.0)
+    detector.stop()
+    # ...and the retry consumed the standby and completed.
+    assert detector.recoveries_completed == 1
+    assert detector.standby_hosts == []
+    recovered = cluster.coordinator.masters["m0"].master
+    assert recovered.active
+    assert recovered.store.read("a") == 1
+
+
+def test_dead_witness_is_replaced():
+    """A crashed witness host goes silent; the watchdog drives
+    replace_witness with a standby and the master regains full witness
+    strength (previously nothing ever invoked this automatically)."""
+    cluster = detector_cluster()
+    standby = cluster.add_host("w-standby", role="witness")
+    detector = make_detector(cluster, [], witness_standbys=[standby])
+    detector.start()
+    managed = cluster.coordinator.masters["m0"]
+    dead = managed.witnesses[0]
+    cluster.network.host(dead).crash()
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    detector.stop()
+    assert detector.witnesses_replaced == 1
+    assert managed.witnesses == [standby.name]
+    assert any(kind == "witness" and target == dead
+               for _t, kind, target in detector.detections)
+    # The replacement serves the 1-RTT path: a fresh update completes.
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", 9)))
+    assert cluster.master().store.read("k") == 9
+
+
+def test_gray_witness_invisible_to_ping_only_detector():
+    """A gray witness (data path dead, ping alive) never goes silent:
+    without data probes the watchdog sees a healthy host forever."""
+    cluster = detector_cluster()
+    standby = cluster.add_host("w-standby", role="witness")
+    detector = make_detector(cluster, [], witness_standbys=[standby],
+                             data_probes=False)
+    detector.start()
+    witness = cluster.coordinator.masters["m0"].witnesses[0]
+    cluster.network.set_gray_host(witness, allow=("ping",))
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    detector.stop()
+    assert detector.witnesses_replaced == 0
+    assert detector.gray_detected == 0
+    assert detector._member_misses.get(witness, 0) == 0  # pings all fine
+
+
+def test_gray_witness_detected_and_replaced_via_data_probes():
+    """With data probes on, the evidence window convicts the gray
+    witness while its pings still succeed, quarantines it, and drives
+    a replacement."""
+    cluster = detector_cluster()
+    standby = cluster.add_host("w-standby", role="witness")
+    detector = make_detector(cluster, [], witness_standbys=[standby],
+                             data_probes=True, gray_threshold=3)
+    detector.start()
+    managed = cluster.coordinator.masters["m0"]
+    gray = managed.witnesses[0]
+    cluster.network.set_gray_host(gray, allow=("ping",))
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    detector.stop()
+    assert detector.gray_detected == 1
+    assert gray in detector.quarantined
+    assert detector.witnesses_replaced == 1
+    assert managed.witnesses == [standby.name]
+    detect_time = next(t for t, kind, target in detector.detections
+                       if kind == "gray-witness" and target == gray)
+    # Conviction needs gray_threshold failed probes, one per interval.
+    assert detect_time <= detector.gray_threshold * detector.interval \
+        + detector.ping_timeout * 2 + detector.interval
+
+
+def test_gray_master_detected_and_recovered_via_data_probes():
+    """A gray master (pings fine, data path dead) wedges every client
+    but never goes silent.  The watchdog's master data probe — a read
+    through the worker pool — times out, the evidence window convicts
+    the host, and the repair is a full supervised recovery onto the
+    standby: the quarantined host's data lives on the backups."""
+    cluster = detector_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("a", 1)))
+    cluster.settle()
+    standby = cluster.add_host("gm-standby", role="master")
+    detector = make_detector(cluster, [standby], data_probes=True,
+                             gray_threshold=3)
+    detector.start()
+    managed = cluster.coordinator.masters["m0"]
+    old_host = managed.host
+    cluster.network.set_gray_host(old_host, allow=("ping",))
+    cluster.sim.run(until=cluster.sim.now + 60_000.0)
+    detector.stop()
+    assert detector.gray_detected == 1
+    assert old_host in detector.quarantined
+    assert detector._misses["m0"] == 0          # pings never missed
+    assert any(kind == "gray-master" and target == "m0"
+               for _t, kind, target in detector.detections)
+    # The repair was a recovery, not a replacement: service moved to
+    # the standby with the pre-fault data intact.
+    assert detector.recoveries_completed == 1
+    assert managed.host == standby.name
+    assert managed.master.active
+    assert managed.master.store.read("a") == 1
+
+
+def test_dead_backup_is_replaced():
+    """A crashed backup goes silent; the watchdog drives replace_backup
+    so syncs (which need all f backups) can complete again."""
+    cluster = detector_cluster()
+    standby = cluster.add_host("b-standby", role="backup")
+    detector = make_detector(cluster, [], backup_standbys=[standby])
+    detector.start()
+    managed = cluster.coordinator.masters["m0"]
+    dead = managed.backups[0]
+    cluster.network.host(dead).crash()
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    detector.stop()
+    assert detector.backups_replaced == 1
+    assert managed.backups == [standby.name]
+    # The replacement carries the sync path: an update fully syncs.
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", 5)))
+    cluster.settle()
+    assert len(cluster.coordinator.backup_servers[standby.name].wal) >= 1
+
+
 def test_stop_halts_pinging():
     cluster = detector_cluster()
     detector = make_detector(cluster, [])

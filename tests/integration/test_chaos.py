@@ -9,21 +9,38 @@ data is durable on the final master.
 These are the tests that catch cross-feature interactions no targeted
 test thinks to write (witness replacement racing gc, fencing racing a
 sync retry, ...).
+
+Set ``CHAOS_SEEDS`` (comma- or space-separated ints, e.g.
+``CHAOS_SEEDS="101,102,103"``) to sweep *extra* seeds on top of each
+test's defaults — the nightly/manual CI knob; the default matrix stays
+fast without it.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.cluster import FailureDetector
 from repro.core.config import CurpConfig, ReplicationMode, StorageProfile
 from repro.harness import build_cluster
 from repro.kvstore import Increment, Write
+from repro.net.faults import FaultPlan, GrayHost, GrayLink, HostFlap
 from repro.verify import (
     CounterModel,
     History,
     HistoryClient,
     check_linearizable,
 )
+
+
+def chaos_seeds(*defaults: int) -> list[int]:
+    """The test's default seeds plus any from ``CHAOS_SEEDS``."""
+    seeds = list(defaults)
+    for token in os.environ.get("CHAOS_SEEDS", "").replace(",", " ").split():
+        seeds.append(int(token))
+    return seeds
 
 
 def build_chaos_cluster(seed, fast_completion=False, frame_coalescing=False,
@@ -83,7 +100,7 @@ def monkey(cluster, rounds: int, gap: float):
 @pytest.mark.parametrize("fast_completion, frame_coalescing",
                          [(False, False), (True, False),
                           (False, True), (True, True)])
-@pytest.mark.parametrize("seed", [11, 12, 13])
+@pytest.mark.parametrize("seed", chaos_seeds(11, 12, 13))
 def test_chaos_storm_stays_linearizable(seed, fast_completion,
                                         frame_coalescing):
     # All four mode combinations (generator AllOf path vs the callback
@@ -131,7 +148,7 @@ def test_chaos_storm_stays_linearizable(seed, fast_completion,
 @pytest.mark.parametrize("fast_completion, frame_coalescing",
                          [(False, False), (True, False),
                           (False, True), (True, True)])
-@pytest.mark.parametrize("seed", [31, 32])
+@pytest.mark.parametrize("seed", chaos_seeds(31, 32))
 def test_chaos_crash_source_master_mid_migration(seed, fast_completion,
                                                  frame_coalescing):
     """ISSUE 5 storm: while clients hammer a hot tablet, the
@@ -220,7 +237,7 @@ def test_chaos_crash_source_master_mid_migration(seed, fast_completion,
 @pytest.mark.parametrize("fast_completion, frame_coalescing",
                          [(False, False), (True, False),
                           (False, True), (True, True)])
-@pytest.mark.parametrize("seed", [41, 42])
+@pytest.mark.parametrize("seed", chaos_seeds(41, 42))
 def test_chaos_partitioned_recovery_with_storage(seed, fast_completion,
                                                  frame_coalescing):
     """ISSUE 7 storm: with the segmented-WAL storage model *enabled*
@@ -301,7 +318,7 @@ def test_chaos_partitioned_recovery_with_storage(seed, fast_completion,
 @pytest.mark.parametrize("fast_completion, frame_coalescing",
                          [(False, False), (True, False),
                           (False, True), (True, True)])
-@pytest.mark.parametrize("seed", [21])
+@pytest.mark.parametrize("seed", chaos_seeds(21))
 def test_chaos_storm_durability_audit(seed, fast_completion,
                                       frame_coalescing):
     """After the storm, every acknowledged write's final value (per the
@@ -338,3 +355,83 @@ def test_chaos_storm_durability_audit(seed, fast_completion,
                                timeout=10_000_000.0)
         assert observed == value, f"{key}: lost acknowledged {value!r}"
     check_linearizable(history)
+
+
+@pytest.mark.parametrize("fast_completion, frame_coalescing",
+                         [(False, False), (True, False),
+                          (False, True), (True, True)])
+@pytest.mark.parametrize("seed", chaos_seeds(51))
+def test_chaos_scripted_fault_plan_gray_witness(seed, fast_completion,
+                                                frame_coalescing):
+    """ISSUE 8 storm: a *scripted* :class:`FaultPlan` (deterministic,
+    faults drawn from their own rng stream) lands a gray witness (pings
+    fine, data path dead), a flapping backup, and a lossy gray link —
+    while clients run a mixed workload and the watchdog runs with data
+    probes.  The watchdog must convict and replace the gray witness
+    mid-storm, and the history must stay linearizable in every
+    completion × framing mode."""
+    cluster = build_chaos_cluster(seed, fast_completion=fast_completion,
+                                  frame_coalescing=frame_coalescing)
+    standby = cluster.add_host("chaos-w-standby", role="witness")
+    detector = FailureDetector(cluster.coordinator, [],
+                               interval=300.0, miss_threshold=2,
+                               ping_timeout=150.0,
+                               witness_standbys=[standby],
+                               data_probes=True, gray_threshold=2)
+    detector.start()
+    managed = cluster.coordinator.masters["m0"]
+    gray = managed.witnesses[0]
+    plan = FaultPlan(events=(
+        # The headline: witness 0 goes gray for good at t=500.
+        GrayHost(host=gray, allow=("ping",), start=500.0),
+        # Spice: a backup flaps (its storage is durable)...
+        HostFlap(host=managed.backups[0], start=900.0, end=1_400.0),
+        # ...and the master's gc link to witness 1 turns lossy.
+        GrayLink(src=managed.host, dst=managed.witnesses[1],
+                 loss_rate=0.3, start=700.0, end=2_500.0),
+    ), seed=seed)
+    cluster.inject_faults(plan)
+
+    history = History()
+    keys = ["a", "b", "c", "d"]
+    processes = []
+    for index in range(3):
+        client = HistoryClient(cluster.new_client(collect_outcomes=False),
+                               history)
+
+        def script(client=client, index=index):
+            rng = cluster.sim.rng
+            for op_number in range(20):
+                key = keys[rng.randrange(len(keys))]
+                roll = rng.random()
+                if roll < 0.45:
+                    yield from client.update(
+                        Write(key, f"c{index}-{op_number}"))
+                elif roll < 0.55:
+                    yield from client.update(Increment(f"n{key}", 1))
+                else:
+                    yield from client.read(key)
+                yield cluster.sim.timeout(rng.uniform(0, 60.0))
+        processes.append(client.client.host.spawn(script(), name="load"))
+
+    deadline = cluster.sim.now + 50_000_000.0
+    while not all(p.triggered for p in processes):
+        if cluster.sim.now > deadline or not cluster.sim.step():
+            break
+    assert all(p.triggered for p in processes), "clients stuck in chaos"
+    # Clients may finish before the conviction lands; the watchdog
+    # keeps its own events alive, so step until the replacement.
+    repair_deadline = cluster.sim.now + 60_000.0
+    while detector.witnesses_replaced < 1 \
+            and cluster.sim.now < repair_deadline:
+        if not cluster.sim.step():
+            break
+    detector.stop()
+    assert detector.gray_detected >= 1, "gray witness never convicted"
+    assert gray in detector.quarantined
+    assert detector.witnesses_replaced >= 1
+    assert gray not in managed.witnesses
+    assert standby.name in managed.witnesses
+    completed = sum(1 for r in history.records if not r.is_pending)
+    assert completed >= 3 * 20 * 0.7, "too few ops survived the storm"
+    check_linearizable(history, model=CounterModel)

@@ -148,6 +148,77 @@ def test_partitioned_frame_loses_all_payloads(
     assert [p for _, p in inbox] == ["after"]
 
 
+def test_frame_buffered_before_partition_obeys_partition_at_transmit(
+        sim: Simulator, coalescing_network: Network):
+    """The race the fault injector can create: sends buffer a frame,
+    then the partition lands in the same instant (before the
+    instant-end flush).  The link state at *transmit* time governs —
+    the already-buffered frame must not slip through."""
+    a, _b, inbox = two_hosts(coalescing_network)
+    for i in range(3):
+        a.send("b", i)                      # buffered, not yet flushed
+    coalescing_network.partition("a", "b")  # same instant, post-send
+    sim.run()
+    assert inbox == []
+    stats = coalescing_network.stats
+    assert stats.messages_dropped == 1
+    assert stats.payloads_dropped == 3
+
+
+def test_frame_buffered_during_partition_flushed_after_heal_delivers(
+        sim: Simulator, coalescing_network: Network):
+    """The symmetric race: partitioned when the frame buffers, healed
+    before the instant-end flush — transmit-time semantics let it
+    through (nothing was dropped yet, so nothing is resurrected)."""
+    a, _b, inbox = two_hosts(coalescing_network)
+    coalescing_network.partition("a", "b")
+    a.send("b", "lucky")
+    coalescing_network.heal("a", "b")       # still the same instant
+    sim.run()
+    assert [p for _, p in inbox] == ["lucky"]
+    assert coalescing_network.stats.messages_dropped == 0
+
+
+def test_healing_does_not_resurrect_dropped_frames(
+        sim: Simulator, coalescing_network: Network):
+    """Frames transmitted into a partition are gone for good: a later
+    heal must not deliver them, only traffic sent after it."""
+    a, _b, inbox = two_hosts(coalescing_network)
+    coalescing_network.partition("a", "b")
+    sim.schedule_callback(1.0, a.send, "b", "lost-1")
+    sim.schedule_callback(2.0, a.send, "b", "lost-2")
+    sim.schedule_callback(5.0, coalescing_network.heal, "a", "b")
+    sim.schedule_callback(6.0, a.send, "b", "after-heal")
+    sim.run()
+    assert [p for _, p in inbox] == ["after-heal"]
+    stats = coalescing_network.stats
+    assert stats.messages_dropped == 2      # the two pre-heal frames
+    assert stats.payloads_dropped == 2
+
+
+def test_one_way_fault_partition_races_with_frames(
+        sim: Simulator, coalescing_network: Network):
+    """Same transmit-time contract through the fault-injection hooks:
+    a one-way block applied after the frame buffered still drops it,
+    the reverse direction stays open, and a mid-instant heal lets the
+    buffered frame through."""
+    a = coalescing_network.add_host("a")
+    b = coalescing_network.add_host("b")
+    seen_a, seen_b = [], []
+    a.set_message_handler(lambda m: seen_a.append(m.payload))
+    b.set_message_handler(lambda m: seen_b.append(m.payload))
+    a.send("b", "blocked")                  # buffered a→b
+    b.send("a", "counterflow")              # buffered b→a
+    coalescing_network.partition_one_way("a", "b")  # post-send
+    sim.run()
+    assert seen_b == []                     # obeyed at transmit time
+    assert seen_a == ["counterflow"]        # one-way: reverse flows
+    a.send("b", "still-blocked")
+    coalescing_network.heal_one_way("a", "b")  # same instant, pre-flush
+    sim.run()
+    assert seen_b == ["still-blocked"]      # healed at transmit time
+
+
 def test_drop_roll_is_per_frame(sim: Simulator):
     """With drop_rate=0.5 and 100 frames of 4 payloads, payload losses
     come in whole-frame multiples."""

@@ -16,7 +16,8 @@ _spec.loader.exec_module(bench_compare)
 def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
              fig6=170_000, speedup=3.8, fig6_coalesced=170_000,
              messages_per_update=2.3, rebalance_ops=1_300_000,
-             overload_goodput=39_900, recovery_time=1_250.0) -> dict:
+             overload_goodput=39_900, recovery_time=1_250.0,
+             unavailability=2_000.0) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
@@ -39,6 +40,13 @@ def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
                      "speedup_4_vs_1": 3.1,
                      "compaction": {"sync_p99_on": 28.5,
                                     "curp_p99_on": 4.0}},
+        "availability": {
+            "unavailability_window": unavailability,
+            "scenarios": {
+                "kill_master": {"time_to_detect": 2_076.0,
+                                "mttr": 2_096.0},
+                "gray_witness": {"time_to_detect": 4_730.0},
+                "one_way_partition": {"goodput_retained": 1.0}}},
     }
 
 
@@ -106,7 +114,7 @@ def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 10  # every gated metric uncomparable
+    assert len(failures) == 11  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
@@ -118,6 +126,8 @@ def test_missing_gated_metric_fails_the_gate():
     assert gated["rebalance aggregate ops/s"]["status"] == "MISSING"
     assert gated["overload goodput@10x ops/s"]["status"] == "MISSING"
     assert gated["recovery time-to-recover (µs)"]["status"] == "MISSING"
+    assert (gated["availability unavailability window (µs)"]["status"]
+            == "MISSING")
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +233,40 @@ def test_recovery_side_metrics_are_informational():
     candidate = snapshot()
     candidate["recovery"]["speedup_4_vs_1"] = 1.2
     candidate["recovery"]["compaction"]["curp_p99_on"] = 30.0
+    _rows, failures = bench_compare.compare(
+        snapshot(), candidate, threshold=0.25)
+    assert failures == []
+
+
+# ----------------------------------------------------------------------
+# ISSUE 8: the unavailability-window lower-is-better gate
+# ----------------------------------------------------------------------
+def test_unavailability_rise_fails_the_gate():
+    """unavailability window is lower-is-better: a rise past the
+    threshold (detection / recovery / re-routing got slower) must fail."""
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(unavailability=5_000.0), threshold=0.25)
+    assert len(failures) == 1
+    assert "availability unavailability window (µs)" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    row = gated["availability unavailability window (µs)"]
+    assert row["status"] == "REGRESSION"
+    assert row["delta"] > 0.25
+
+
+def test_unavailability_drop_passes():
+    """Healing faster than the baseline is an improvement."""
+    _rows, failures = bench_compare.compare(
+        snapshot(), snapshot(unavailability=1_000.0), threshold=0.25)
+    assert failures == []
+
+
+def test_availability_scenario_metrics_are_informational():
+    candidate = snapshot()
+    candidate["availability"]["scenarios"]["kill_master"][
+        "time_to_detect"] = 50_000.0
+    candidate["availability"]["scenarios"]["one_way_partition"][
+        "goodput_retained"] = 0.2
     _rows, failures = bench_compare.compare(
         snapshot(), candidate, threshold=0.25)
     assert failures == []

@@ -71,6 +71,11 @@ GATED_METRICS_LOWER = (
     # seed — a rise means striped reads, parallel replay or the absorb
     # path got slower)
     ("recovery time-to-recover (µs)", ("recovery", "time_to_recover")),
+    # ISSUE 8: virtual time the kill-master fault plan spends below
+    # 50% of baseline goodput (deterministic per seed — a rise means
+    # detection, supervised recovery or client re-routing got slower)
+    ("availability unavailability window (µs)",
+     ("availability", "unavailability_window")),
 )
 
 #: reported but never failing (wall-clock sensitive or informational)
@@ -97,6 +102,15 @@ INFO_METRICS = (
     ("overload witness fairness (quiet throttle)",
      ("overload", "quiet_throttle_rate")),
     ("recovery speedup 4 vs 1 masters", ("recovery", "speedup_4_vs_1")),
+    ("availability kill-master detect (µs)",
+     ("availability", "scenarios", "kill_master", "time_to_detect")),
+    ("availability kill-master mttr (µs)",
+     ("availability", "scenarios", "kill_master", "mttr")),
+    ("availability gray-witness detect (µs)",
+     ("availability", "scenarios", "gray_witness", "time_to_detect")),
+    ("availability one-way goodput retained",
+     ("availability", "scenarios", "one_way_partition",
+      "goodput_retained")),
     ("recovery sync p99 w/ cleaner (µs)",
      ("recovery", "compaction", "sync_p99_on")),
     ("recovery curp p99 w/ cleaner (µs)",

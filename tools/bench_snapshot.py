@@ -44,7 +44,13 @@ Measures, in wall-clock terms:
   time-to-recover vs recovery-master count over the segmented-WAL
   storage model, plus the compaction-vs-tail-latency numbers, from
   ``benchmarks/bench_recovery.py`` — ``recovery.time_to_recover``
-  (virtual µs at 4 recovery masters) is CI-gated lower-is-better.
+  (virtual µs at 4 recovery masters) is CI-gated lower-is-better;
+- an ``availability`` series (ISSUE 8): the four canned fault plans
+  (kill-master, gray-witness, one-way-partition, slow-disk) from
+  ``benchmarks/bench_availability.py`` scored by the watchdog +
+  availability tracker — ``availability.unavailability_window``
+  (virtual µs the kill-master scenario spends below 50% of baseline
+  goodput) is CI-gated lower-is-better.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -251,6 +257,34 @@ def _recovery() -> dict:
     }
 
 
+def _availability() -> dict:
+    """Fault-plan availability suite (ISSUE 8 acceptance series):
+    virtual-time, deterministic per seed.  ``unavailability_window``
+    is the kill-master scenario's and gates lower-is-better."""
+    from benchmarks.bench_availability import availability_suite
+
+    started = time.perf_counter()
+    suite = availability_suite()
+
+    def _point(report: dict) -> dict:
+        return {
+            "time_to_detect": (None if report["time_to_detect"] is None
+                               else round(report["time_to_detect"], 1)),
+            "mttr": (None if report["mttr"] is None
+                     else round(report["mttr"], 1)),
+            "unavailability_window": round(report["unavailability_window"]),
+            "goodput_retained": round(report["goodput_retained"], 3),
+        }
+
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "probe_budget": round(suite["probe_budget"]),
+        "unavailability_window": round(suite["unavailability_window"]),
+        "scenarios": {name: _point(report)
+                      for name, report in suite["scenarios"].items()},
+    }
+
+
 def _curp_op_path(scale: float) -> dict:
     """Committed-ops/s through the full operation lifecycle (ISSUE 3
     acceptance series), from benchmarks/bench_curp_op_path.py."""
@@ -315,6 +349,7 @@ def snapshot(scale: float = 1.0) -> dict:
         "rebalance": _rebalance(),
         "overload": _overload(scale),
         "recovery": _recovery(),
+        "availability": _availability(),
     }
 
 
