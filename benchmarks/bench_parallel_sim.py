@@ -1,0 +1,125 @@
+"""Parallel discrete-event simulation: scaling of the partitioned
+scheduler (ISSUE 9).
+
+The PDES layer shards the cluster across per-partition simulators
+(``repro.sim.partition``) synchronized only at conservative-lookahead
+window barriers, so each partition's event loop runs concurrently with
+the others.  This bench drives the same 4-shard open-loop workload —
+``repro.workload.partitioned.build_openloop_partition``, literally the
+same workload code at every partition count — at P ∈ {1, 2, 4} and
+measures how the simulation's *work* spreads.
+
+Metrics:
+
+- ``critical_path`` — the max per-worker busy CPU time
+  (``time.process_time`` accumulated inside each worker): the
+  wall-clock floor on a machine with ≥ P free cores.
+- ``speedup_Np = busy(1 partition) / critical_path(N partitions)`` —
+  the gated scaling number.  CPU-time based on purpose: CI containers
+  (and this one) often pin a single core, where worker processes
+  time-share and wall clock measures the scheduler's context
+  switching, not the decomposition.  Busy-time is scheduling-invariant
+  and deterministic enough to gate.
+- ``wall_seconds`` — reported informationally; on a multi-core host it
+  tracks ``critical_path`` + barrier overhead.
+
+The wire profile fixes one-way latency at 10 µs (``PDES_PROFILE``), a
+rack-to-rack figure that also sets the conservative lookahead: windows
+are 10 µs of virtual time, so at 200 k ops/s/shard each partition
+executes enough real work per window to amortize the barrier.
+
+Acceptance (ISSUE 9): ``speedup_4p`` ≥ 2.5 on the 4-shard open-loop
+workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import time
+
+from benchmarks.conftest import run_once
+from repro.harness.profiles import TEST_PROFILE
+from repro.metrics import format_table
+from repro.sim.distributions import Fixed
+from repro.sim.partition import PartitionedSimulation
+from repro.workload.partitioned import build_openloop_partition
+
+#: zero host costs (the work under test is the event loop itself) with
+#: a 10 µs fixed wire — the lookahead window.  ``functools.partial``
+#: instead of a lambda keeps the profile picklable for the process
+#: backend's setup shipping.
+PDES_PROFILE = dataclasses.replace(TEST_PROFILE, name="pdes-bench",
+                                   latency=functools.partial(Fixed, 10.0))
+
+
+def _one_run(n_partitions: int, rate_per_shard: float, duration: float,
+             warmup: float, seed: int, backend: str) -> dict:
+    args = {"n_masters": 4, "seed": seed, "rate_per_shard": rate_per_shard,
+            "n_clients": 4, "keys_per_shard": 16, "remote_fraction": 0.05,
+            "profile": PDES_PROFILE}
+    started = time.perf_counter()
+    with PartitionedSimulation(build_openloop_partition, n_partitions,
+                               setup_args=args, backend=backend) as psim:
+        psim.call("start")
+        psim.advance(psim.now + warmup)
+        psim.call("reset")
+        psim.advance(psim.now + duration)
+        psim.call("stop")
+        results = psim.call("results", duration)
+        stats = psim.scaling_stats()
+    wall = time.perf_counter() - started
+    return {
+        "completed": sum(r["completed"] for r in results),
+        "offered": sum(r["offered"] for r in results),
+        "exported": sum(r["partition"]["exported"] for r in results),
+        "busy": [round(b, 4) for b in stats["busy"]],
+        "total_busy": round(stats["total_busy"], 4),
+        "critical_path": round(stats["critical_path"], 4),
+        "windows": stats["windows"],
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def parallel_sim_scaling(partition_counts=(1, 2, 4),
+                         rate_per_shard=200_000.0, duration=20_000.0,
+                         warmup=1_000.0, seed=42,
+                         backend="process") -> dict:
+    """The scaling series: same workload, P ∈ ``partition_counts``.
+
+    The P=1 run is the serial baseline — one simulator owns all four
+    shards (``build_partitioned_cluster`` delegates to the plain
+    builder, so it pays zero partition-layer overhead).
+    """
+    series = {}
+    for n_partitions in partition_counts:
+        series[n_partitions] = _one_run(n_partitions, rate_per_shard,
+                                        duration, warmup, seed, backend)
+    baseline = series[partition_counts[0]]["total_busy"]
+    for point in series.values():
+        point["speedup"] = round(baseline / point["critical_path"], 2)
+    out = {"series": series, "rate_per_shard": rate_per_shard,
+           "duration": duration, "backend": backend}
+    for n_partitions, point in series.items():
+        out[f"speedup_{n_partitions}p"] = point["speedup"]
+    return out
+
+
+def test_parallel_sim_scaling(benchmark, scale):
+    duration = 20_000.0 * min(scale, 4)
+
+    def experiment():
+        return parallel_sim_scaling(duration=duration)
+
+    result = run_once(benchmark, experiment)
+    series = result["series"]
+    rows = [[n, point["completed"], point["total_busy"],
+             point["critical_path"], point["windows"],
+             point["wall_seconds"], point["speedup"]]
+            for n, point in series.items()]
+    print()
+    print(format_table(
+        ["partitions", "completed", "busy cpu (s)", "critical path (s)",
+         "windows", "wall (s)", "speedup"], rows,
+        title="PDES scaling — 4-shard open loop, process backend"))
+    assert result["speedup_4p"] >= 2.5

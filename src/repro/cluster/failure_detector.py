@@ -35,6 +35,20 @@ recover_master` onto the next standby.  Recovery is *supervised*: a
   error is overloaded or mid-migration, not gray — only timeouts are
   gray evidence.
 
+Two guards keep the conviction machinery honest on degraded-but-alive
+clusters (both off by default):
+
+- **Adaptive probe SLOs** (``adaptive_probe_slo``) — each target's
+  probe deadline scales with the EWMA of its own answered-probe
+  latencies (clamped to ``[data_probe_slo, probe_slo_cap]``), so a
+  uniformly fail-slow host (degraded disk, saturated NIC) raises its
+  own SLO instead of getting convicted gray, while a wedged host still
+  times out at the cap.
+- **Flap damping** (``flap_damping``) — repeat convictions of the same
+  host are suppressed behind an exponentially growing re-arm delay, so
+  flapping power or a repair that cannot stick backs the watchdog off
+  instead of churning standbys every few intervals.
+
 Detection and repair times are logged in :attr:`detections` and
 :attr:`repairs` — the availability benchmarks read time-to-detect and
 MTTR straight off these timelines.
@@ -73,7 +87,14 @@ class FailureDetector:
                  data_probe_slo: float | None = None,
                  evidence_window: float | None = None,
                  gray_threshold: int = 3,
-                 quarantine_isolate: bool = False):
+                 quarantine_isolate: bool = False,
+                 adaptive_probe_slo: bool = False,
+                 probe_slo_multiplier: float = 4.0,
+                 probe_slo_cap: float | None = None,
+                 probe_ewma_alpha: float = 0.5,
+                 flap_damping: bool = False,
+                 flap_base_delay: float | None = None,
+                 flap_max_delay: float | None = None):
         self.coordinator = coordinator
         self.sim = coordinator.sim
         self.standby_hosts = list(standby_hosts)
@@ -102,6 +123,30 @@ class FailureDetector:
         #: quarantine fence, so its half-alive control path cannot
         #: confuse anyone else)
         self.quarantine_isolate = quarantine_isolate
+        # -- adaptive probe SLO (ISSUE 9) -------------------------------
+        #: scale each target's probe deadline from its observed probe
+        #: latency: a uniformly fail-slow host (degraded disk, slow
+        #: NIC) raises its own SLO instead of getting convicted gray,
+        #: while a *wedged* host still times out at ``probe_slo_cap``
+        self.adaptive_probe_slo = adaptive_probe_slo
+        self.probe_slo_multiplier = probe_slo_multiplier
+        #: the most a target's SLO may adapt up to — also the RPC
+        #: deadline in adaptive mode, so answered-but-slow probes yield
+        #: real latency samples instead of opaque timeouts
+        self.probe_slo_cap = (probe_slo_cap if probe_slo_cap is not None
+                              else 16.0 * self.data_probe_slo)
+        self.probe_ewma_alpha = probe_ewma_alpha
+        # -- flap damping (ISSUE 9) -------------------------------------
+        #: suppress repeat convictions of the same host behind an
+        #: exponentially growing re-arm delay, so a flapping host (or a
+        #: repair that keeps failing) cannot churn standbys and spam
+        #: the detection timeline every few intervals
+        self.flap_damping = flap_damping
+        self.flap_base_delay = (
+            flap_base_delay if flap_base_delay is not None
+            else 2.0 * interval * miss_threshold)
+        self.flap_max_delay = (flap_max_delay if flap_max_delay is not None
+                               else 32.0 * self.flap_base_delay)
         # -- state ------------------------------------------------------
         self._misses: dict[str, int] = {}
         self._member_misses: dict[str, int] = {}
@@ -114,6 +159,12 @@ class FailureDetector:
         self._replacing: set[tuple[str, str]] = set()
         #: hosts convicted as gray (never un-convicted)
         self.quarantined: set[str] = set()
+        #: host → EWMA of answered data-probe latencies
+        self._probe_ewma: dict[str, float] = {}
+        #: host → conviction count (drives the re-arm delay growth)
+        self._convictions: dict[str, int] = {}
+        #: host → sim time before which re-conviction is suppressed
+        self._rearm_at: dict[str, float] = {}
         self._running = False
         # -- counters and timelines -------------------------------------
         self.recoveries_started = 0
@@ -122,6 +173,8 @@ class FailureDetector:
         self.witnesses_replaced = 0
         self.backups_replaced = 0
         self.gray_detected = 0
+        #: convictions swallowed by flap damping's re-arm delay
+        self.flap_suppressed = 0
         #: (virtual time, kind, target) — kind in {"master",
         #: "witness", "backup", "gray-witness", "gray-master"}
         self.detections: list[tuple[float, str, str]] = []
@@ -165,6 +218,9 @@ class FailureDetector:
             self._misses[master_id] = self._misses.get(master_id, 0) + 1
             if self._misses[master_id] >= self.miss_threshold:
                 self._misses[master_id] = 0
+                if self._damped(managed.host):
+                    continue
+                self._note_conviction(managed.host)
                 self.detections.append((self.sim.now, "master", master_id))
                 self._start_recovery(master_id)
 
@@ -188,6 +244,9 @@ class FailureDetector:
                 or host in self.quarantined:
             return  # someone else convicted/recovered while we probed
         if self._convicted(master_id, host, ok):
+            if self._damped(host):
+                return
+            self._note_conviction(host)
             self.gray_detected += 1
             self.quarantined.add(host)
             self.detections.append((self.sim.now, "gray-master", master_id))
@@ -247,6 +306,9 @@ class FailureDetector:
                 self._member_misses[witness] = misses
                 if misses >= self.miss_threshold:
                     self._member_misses[witness] = 0
+                    if self._damped(witness):
+                        continue
+                    self._note_conviction(witness)
                     self.detections.append((self.sim.now, "witness", witness))
                     self._replace_witness_everywhere(witness)
                 continue
@@ -256,6 +318,9 @@ class FailureDetector:
             ok = yield from self._data_probe(master_id, witness)
             if self._convicted(master_id, witness, ok):
                 # Ping answers, data path dead: the gray conviction.
+                if self._damped(witness):
+                    continue
+                self._note_conviction(witness)
                 self.gray_detected += 1
                 self.quarantined.add(witness)
                 self.detections.append(
@@ -264,19 +329,51 @@ class FailureDetector:
                     self.coordinator.network.isolate(witness)
                 self._replace_witness_everywhere(witness)
 
+    def _effective_slo(self, target: str) -> float:
+        """The probe deadline in force for ``target`` right now.
+
+        Fixed mode: ``data_probe_slo``.  Adaptive mode: the target's
+        answered-probe latency EWMA scaled by ``probe_slo_multiplier``,
+        clamped between the base SLO (floor — adaptation never makes
+        the detector hair-trigger) and ``probe_slo_cap`` (ceiling — a
+        wedged host still gets convicted, just proportionally later on
+        a host that was already known to be slow)."""
+        if not self.adaptive_probe_slo:
+            return self.data_probe_slo
+        ewma = self._probe_ewma.get(target)
+        if ewma is None:
+            return self.data_probe_slo
+        return min(max(self.data_probe_slo,
+                       ewma * self.probe_slo_multiplier),
+                   self.probe_slo_cap)
+
+    def _observe_probe(self, target: str, latency: float) -> None:
+        prev = self._probe_ewma.get(target)
+        self._probe_ewma[target] = (
+            latency if prev is None
+            else (1.0 - self.probe_ewma_alpha) * prev
+            + self.probe_ewma_alpha * latency)
+
     def _data_probe(self, master_id: str, witness: str):
         """A timed data-path round trip: the witness's real ``probe``
         RPC (any reply proves the record/probe path works; the reply
-        value does not matter).  The SLO is the deadline: an answer
-        slower than it is a failure — fail-slow counts as failed."""
+        value does not matter).  The effective SLO is the verdict
+        line: an answer slower than it is a failure — fail-slow counts
+        as failed.  In adaptive mode the RPC deadline is the cap, so a
+        slow-but-answering witness contributes a latency sample that
+        raises its own SLO instead of an opaque timeout."""
+        slo = self._effective_slo(witness)
+        deadline = self.probe_slo_cap if self.adaptive_probe_slo else slo
+        start = self.sim.now
         try:
             yield self.coordinator.transport.call(
                 witness, "probe",
                 ProbeArgs(master_id=master_id, key_hashes=()),
-                timeout=self.data_probe_slo)
+                timeout=deadline)
         except RpcError:
             return False
-        return True
+        self._observe_probe(witness, self.sim.now - start)
+        return self.sim.now - start <= slo
 
     def _data_probe_master(self, master_id: str, managed):
         """A timed data-path round trip through the master's worker
@@ -286,18 +383,25 @@ class FailureDetector:
         (``ReadArgs.probe``): a merely overloaded pool drains it
         within the SLO, a wedged one times out.  Application errors
         (a ``WRONG_SHARD`` race with migration, explicit pushback)
-        are live answers, not gray evidence."""
+        are live answers, not gray evidence.  Deadline/SLO split as in
+        :meth:`_data_probe`: adaptive mode waits out to the cap and
+        judges the answer against the target's own adapted SLO."""
+        slo = self._effective_slo(managed.host)
+        deadline = self.probe_slo_cap if self.adaptive_probe_slo else slo
+        start = self.sim.now
         try:
             yield self.coordinator.transport.call(
                 managed.host, "read",
                 ReadArgs(key=self._probe_key(master_id, managed),
                          probe=True),
-                timeout=self.data_probe_slo)
+                timeout=deadline)
         except AppError:
+            self._observe_probe(managed.host, self.sim.now - start)
             return True
         except RpcError:
             return False
-        return True
+        self._observe_probe(managed.host, self.sim.now - start)
+        return self.sim.now - start <= slo
 
     def _probe_key(self, master_id: str, managed) -> str:
         """A key the master owns, from a namespace no workload uses,
@@ -363,6 +467,9 @@ class FailureDetector:
             self._member_misses[backup] = misses
             if misses >= self.miss_threshold:
                 self._member_misses[backup] = 0
+                if self._damped(backup):
+                    continue
+                self._note_conviction(backup)
                 self.detections.append((self.sim.now, "backup", backup))
                 if not self.backup_standbys:
                     continue
@@ -384,6 +491,38 @@ class FailureDetector:
                 (self.sim.now, "backup", f"{master_id}:{standby.name}"))
         finally:
             self._replacing.discard((master_id, dead))
+
+    # ------------------------------------------------------------------
+    # flap damping
+    # ------------------------------------------------------------------
+    def _damped(self, host: str) -> bool:
+        """True while ``host`` is inside the re-arm delay from an
+        earlier conviction: the fresh conviction is swallowed (counted
+        in :attr:`flap_suppressed`) and no repair runs.  Suspicion
+        counters were already reset by the caller, so evidence of a
+        *persistent* failure re-accumulates and convicts the moment
+        the delay expires."""
+        if not self.flap_damping:
+            return False
+        if self.sim.now < self._rearm_at.get(host, 0.0):
+            self.flap_suppressed += 1
+            return True
+        return False
+
+    def _note_conviction(self, host: str) -> None:
+        """Record a conviction of ``host`` and arm its damping delay:
+        ``flap_base_delay`` doubled per prior conviction, capped at
+        ``flap_max_delay``.  A host that keeps getting convicted —
+        flapping power, a repair that cannot stick — backs the
+        watchdog off exponentially instead of letting it churn
+        standbys every ``miss_threshold`` intervals forever."""
+        if not self.flap_damping:
+            return
+        count = self._convictions.get(host, 0) + 1
+        self._convictions[host] = count
+        delay = min(self.flap_base_delay * (2.0 ** (count - 1)),
+                    self.flap_max_delay)
+        self._rearm_at[host] = self.sim.now + delay
 
     # ------------------------------------------------------------------
     def _ping(self, host_name: str):

@@ -46,6 +46,8 @@ class RebalancerStats:
     migrations: int = 0
     #: post-move merge passes that actually coalesced tablets
     merges: int = 0
+    #: cooling passes that coalesced a cold master's tablets
+    cooling_merges: int = 0
     #: objects moved across all migrations
     keys_moved: int = 0
     #: moves abandoned because the source/destination kept failing
@@ -91,7 +93,8 @@ class Rebalancer:
                  interval: float | None = None,
                  threshold: float | None = None,
                  min_ops: int | None = None,
-                 rpc_timeout: float = 2_000.0):
+                 rpc_timeout: float = 2_000.0,
+                 cooling_max_ops: int | None = None):
         config = coordinator.config
         self.coordinator = coordinator
         self.sim = coordinator.sim
@@ -102,6 +105,10 @@ class Rebalancer:
         self.min_ops = (config.rebalance_min_ops if min_ops is None
                         else min_ops)
         self.rpc_timeout = rpc_timeout
+        #: per-master window below which a fragmented master counts as
+        #: *cold* and its adjacent tablets get coalesced
+        self.cooling_max_ops = (self.min_ops if cooling_max_ops is None
+                                else cooling_max_ops)
         self.stats = RebalancerStats()
         self.running = False
         self._process = None
@@ -154,6 +161,7 @@ class Rebalancer:
         self.stats.reports += len(reports)
         plan = self._plan_move(reports)
         if plan is None:
+            yield from self._cooling_pass(reports)
             return None
         hot_id, cold_id, move_lo, move_hi, splits = plan
         try:
@@ -188,6 +196,37 @@ class Rebalancer:
             if len(merged) < count_before:
                 self.stats.merges += 1
         return hot_id, cold_id, move_lo, move_hi
+
+    def _cooling_pass(self, reports: dict[str, LoadReport]):
+        """Generator: coalesce adjacent tablets on *cold* masters.
+
+        Split histories outlive the hot spots that caused them: once a
+        once-hot shard cools, its fine-grained tablets only lengthen
+        ownership lists and per-op ownership checks.  On rounds where no
+        move is planned (so a merge can't race an imminent migration),
+        any reporting master whose window decayed to
+        ``cooling_max_ops`` or below gets its adjacent tablets merged.
+        Hot masters are left fragmented on purpose — their fine tablets
+        are exactly what the next split plan wants to work with.
+        Masters already holding a single tablet are skipped without any
+        RPC, so a stable cluster pays nothing for this pass.
+        """
+        for master_id in sorted(reports):
+            if reports[master_id].window_ops > self.cooling_max_ops:
+                continue
+            managed = self.coordinator.masters.get(master_id)
+            if managed is None or managed.recovering:
+                continue
+            if len(managed.owned_ranges) <= 1:
+                continue
+            count_before = len(managed.owned_ranges)
+            try:
+                merged = yield from self.coordinator.merge_tablets(
+                    master_id, rpc_timeout=self.rpc_timeout)
+            except RecoveryFailed:
+                continue
+            if len(merged) < count_before:
+                self.stats.cooling_merges += 1
 
     def _plan_move(self, reports: dict[str, LoadReport]
                    ) -> tuple[str, str, int, int,

@@ -151,7 +151,10 @@ class Host:
                 # at the call site, as the uncoalesced path does —
                 # not out of the end-of-instant flush with the
                 # sender's stack long gone.
-                if dst not in self.network.hosts:
+                network = self.network
+                if dst not in network.hosts and (
+                        network.mailbox is None
+                        or not network.mailbox.is_remote(dst)):
                     raise KeyError(f"unknown destination host: {dst}")
                 self.sim.at_instant_end(self._flush_frame, dst,
                                         self.incarnation)

@@ -36,3 +36,18 @@ class LatencyModel:
         if not self._overrides:  # common case: one cluster-wide model
             return self._default_sample(rng)
         return self.distribution(src, dst).sample(rng)
+
+    def min_latency(self) -> float:
+        """Infimum over every pair the model can produce.
+
+        The conservative lookahead bound for partitioned simulation:
+        no message between any two hosts can arrive sooner than this.
+        Per-pair overrides are included, so a single fast override
+        tightens the bound for the whole model.
+        """
+        bound = self.default.lower_bound()
+        for dist in self._overrides.values():
+            lower = dist.lower_bound()
+            if lower < bound:
+                bound = lower
+        return bound

@@ -1,0 +1,186 @@
+"""Cross-partition mailbox: the serialized half of a partitioned Network.
+
+Parallel discrete-event simulation (ISSUE 9) splits the cluster into
+per-shard partitions, each running its own :class:`Simulator`.  Traffic
+*within* a partition uses the normal in-memory delivery path; traffic
+*between* partitions cannot — the destination's heap lives in another
+worker (possibly another process).  The mailbox is that boundary:
+
+- the sending partition's :class:`~repro.net.network.Network` runs its
+  full transmission pipeline (stats, taps, partitions, fault verdicts,
+  drop rolls, latency sample) and, instead of scheduling a delivery,
+  deposits a latency-stamped :class:`Envelope` in the outbox;
+- the partition runner collects outboxes at every conservative-window
+  barrier, routes envelopes to their destination partitions, and each
+  receiving mailbox schedules them into its own simulator.
+
+Conservative lookahead makes this safe: with windows no longer than the
+minimum inter-partition wire latency, a message sent during window
+``[T, T+L)`` carries ``deliver_at >= T + L``, i.e. it lands at or after
+the barrier where it is imported — never in the receiver's past.  The
+:class:`LookaheadViolation` check turns any breach of that invariant
+(a mis-sized window, a latency override below the declared lookahead)
+into a loud failure instead of silent causality corruption.
+
+Determinism: envelopes are applied in ``(deliver_at, src_partition,
+seq)`` order, a total order independent of arrival interleaving, so a
+fixed seed and partition count reproduce identical runs whatever the
+worker backend.  Everything in an envelope is picklable (Message and
+Frame are slotted plain classes) so the process backend can ship them
+over a pipe unchanged.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+class LookaheadViolation(RuntimeError):
+    """An imported envelope's deliver_at precedes the receiver's clock.
+
+    Raised at import time when the conservative-window contract is
+    broken — the window was longer than the true minimum cross-partition
+    latency (e.g. a per-link override below the declared lookahead).
+    """
+
+
+class Envelope:
+    """One cross-partition transmission, latency already applied.
+
+    The sender samples wire latency from its own rng stream (keeping
+    the per-partition rng sequences identical to a serial run of the
+    same partition) and stamps the absolute delivery time; the receiver
+    just schedules delivery at that instant.
+    """
+
+    __slots__ = ("deliver_at", "src_partition", "seq", "dst", "payload")
+
+    def __init__(self, deliver_at: float, src_partition: int, seq: int,
+                 dst: str, payload: typing.Any):
+        self.deliver_at = deliver_at
+        self.src_partition = src_partition
+        self.seq = seq
+        self.dst = dst
+        self.payload = payload
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.deliver_at, self.src_partition, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Envelope(@{self.deliver_at} p{self.src_partition}"
+                f"#{self.seq} -> {self.dst})")
+
+
+class CrossPartitionMailbox:
+    """Outbox + import gate attached to one partition's Network.
+
+    A Network with no mailbox (``network.mailbox is None``, the
+    default) behaves exactly as before — the attribute is only
+    consulted on the previously-raising unknown-destination path, so
+    serial runs and goldens take zero extra branches.
+    """
+
+    def __init__(self, network: "Network", partition_id: int):
+        self.network = network
+        self.partition_id = partition_id
+        #: hosts that live in other partitions: name → partition id
+        self.remote_hosts: dict[str, int] = {}
+        #: name-prefix routes for hosts created *after* build time
+        #: (each partition's dynamically-added clients carry a
+        #: partition prefix, e.g. ``p2-client7``)
+        self.remote_prefixes: list[tuple[str, int]] = []
+        #: envelopes produced since the last collect()
+        self.outbox: list[Envelope] = []
+        self._seq = 0
+        # counters for tests / scaling diagnostics
+        self.exported = 0
+        self.imported = 0
+        network.mailbox = self
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register_remote(self, name: str, partition_id: int) -> None:
+        """Declare that ``name`` lives in ``partition_id``."""
+        if name in self.network.hosts:
+            raise ValueError(f"host is local, not remote: {name}")
+        if partition_id == self.partition_id:
+            raise ValueError(
+                f"cannot register {name} as remote in its own partition")
+        self.remote_hosts[name] = partition_id
+
+    def register_remote_prefix(self, prefix: str,
+                               partition_id: int) -> None:
+        """Route any host whose name starts with ``prefix`` to
+        ``partition_id`` — the door for hosts another partition creates
+        after build time (its ``new_client`` namespace)."""
+        if partition_id == self.partition_id:
+            raise ValueError(
+                f"cannot route prefix {prefix!r} to its own partition")
+        self.remote_prefixes.append((prefix, partition_id))
+
+    def route(self, name: str) -> int | None:
+        """Destination partition for ``name``; None = not remote.
+        Prefix hits are cached as exact entries."""
+        partition_id = self.remote_hosts.get(name)
+        if partition_id is not None:
+            return partition_id
+        for prefix, pid in self.remote_prefixes:
+            if name.startswith(prefix):
+                self.remote_hosts[name] = pid
+                return pid
+        return None
+
+    def is_remote(self, name: str) -> bool:
+        return self.route(name) is not None
+
+    # ------------------------------------------------------------------
+    # export (called by Network on the unknown-destination path)
+    # ------------------------------------------------------------------
+    def export(self, dst: str, payload: typing.Any,
+               deliver_at: float) -> None:
+        self._seq += 1
+        self.outbox.append(
+            Envelope(deliver_at, self.partition_id, self._seq, dst, payload))
+        self.exported += 1
+
+    def collect(self) -> list[Envelope]:
+        """Drain the outbox (one barrier's worth of exports)."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    # ------------------------------------------------------------------
+    # import (called by the partition runner at each barrier)
+    # ------------------------------------------------------------------
+    def apply(self, envelopes: list[Envelope]) -> None:
+        """Schedule imported envelopes into this partition's simulator.
+
+        Applied in ``(deliver_at, src_partition, seq)`` order so the
+        import sequence — and therefore the receiver's event heap — is
+        deterministic regardless of how the runner interleaved the
+        senders' outboxes.
+        """
+        if not envelopes:
+            return
+        network = self.network
+        sim = network.sim
+        now = sim.now
+        hosts = network.hosts
+        for env in sorted(envelopes, key=Envelope.sort_key):
+            if env.deliver_at < now:
+                raise LookaheadViolation(
+                    f"envelope for {env.dst} delivers at {env.deliver_at} "
+                    f"but partition {self.partition_id} is already at "
+                    f"{now}; the lookahead window exceeds the true "
+                    f"minimum cross-partition latency")
+            target = hosts.get(env.dst)
+            if target is None:
+                raise KeyError(
+                    f"imported envelope for unknown host {env.dst} in "
+                    f"partition {self.partition_id}")
+            sim._schedule_deliver(env.deliver_at - now, target, env.payload)
+            self.imported += 1

@@ -105,6 +105,11 @@ class Network:
         self.fault_rng = None
         #: single hot-path flag: True iff any fault hook is installed
         self._faults_active = False
+        #: cross-partition mailbox (sim/partition.py); ``None`` for a
+        #: serial network.  Only consulted where ``hosts.get(dst)``
+        #: comes back empty — a path that previously always raised —
+        #: so unpartitioned runs take zero extra branches.
+        self.mailbox = None
 
     # ------------------------------------------------------------------
     # topology
@@ -251,7 +256,8 @@ class Network:
         # the partition check allocates no frozenset when no partition
         # is active.
         target = self.hosts.get(dst)
-        if target is None:
+        if target is None and (self.mailbox is None
+                               or not self.mailbox.is_remote(dst)):
             raise KeyError(f"unknown destination host: {dst}")
         src_name = src.name
         stats = self.stats
@@ -290,6 +296,15 @@ class Network:
             wire = self.latency.sample(sim.rng, src_name, dst)
         # departs_at >= now by construction (Host.send clamps to now).
         delay = departs_at - sim.now + wire + extra
+        if target is None:
+            # Destination lives in another partition: hand off the
+            # latency-stamped message; the receiving simulator
+            # schedules it at the next conservative-window barrier.
+            self.mailbox.export(dst, message, sim.now + delay)
+            if dup >= 0.0:
+                stats.messages_duplicated += 1
+                self.mailbox.export(dst, message, sim.now + delay + dup)
+            return
         sim._schedule_deliver(delay, target, message)
         if dup >= 0.0:
             stats.messages_duplicated += 1
@@ -308,7 +323,8 @@ class Network:
         §5.2 payload accounting is per RPC, not per wire transmission.
         """
         target = self.hosts.get(dst)
-        if target is None:
+        if target is None and (self.mailbox is None
+                               or not self.mailbox.is_remote(dst)):
             raise KeyError(f"unknown destination host: {dst}")
         src_name = src.name
         stats = self.stats
@@ -369,6 +385,12 @@ class Network:
         else:
             payload = Frame(src_name, dst, messages, size_bytes, sim.now)
         delay = departs_at - sim.now + wire + extra
+        if target is None:
+            self.mailbox.export(dst, payload, sim.now + delay)
+            if dup >= 0.0:
+                stats.messages_duplicated += 1
+                self.mailbox.export(dst, payload, sim.now + delay + dup)
+            return
         sim._schedule_deliver(delay, target, payload)
         if dup >= 0.0:
             stats.messages_duplicated += 1

@@ -10,9 +10,10 @@ misses pop a standby and drive
 from __future__ import annotations
 
 from repro.cluster import FailureDetector
-from repro.core.config import CurpConfig, ReplicationMode
+from repro.core.config import CurpConfig, ReplicationMode, StorageProfile
 from repro.harness import build_cluster
 from repro.kvstore import Write
+from repro.net.faults import FaultPlan, HostFlap, SlowDisk
 
 
 def detector_cluster(**kwargs):
@@ -278,6 +279,97 @@ def test_dead_backup_is_replaced():
     cluster.run(client.update(Write("k", 5)))
     cluster.settle()
     assert len(cluster.coordinator.backup_servers[standby.name].wal) >= 1
+
+
+def _slow_disk_run(adaptive: bool):
+    """A 10× slow-disk plan against m0's backup under conflicting write
+    load: sync waits pile workers up, so master data probes answer —
+    slowly.  Returns the detector after 60 ms of watched traffic."""
+    storage = StorageProfile(enabled=True, append_time=20.0,
+                             rotation_time=50.0)
+    cluster = detector_cluster(min_sync_batch=1, idle_sync_delay=100.0,
+                               rpc_timeout=2_000.0, storage=storage)
+    standby = cluster.add_host("sd-standby", role="master")
+    detector = make_detector(cluster, [standby], ping_timeout=400.0,
+                             data_probes=True, data_probe_slo=150.0,
+                             gray_threshold=3,
+                             adaptive_probe_slo=adaptive)
+    detector.start()
+    backup = cluster.coordinator.masters["m0"].backups[0]
+    injector = cluster.inject_faults(FaultPlan(events=(
+        SlowDisk(host=backup, multiplier=10.0, start=3_000.0),), seed=3))
+    injector.start()
+    clients = [cluster.new_client() for _ in range(4)]
+
+    def load(client):
+        for round_number in range(200):
+            yield from client.update(Write("hot", round_number))
+    for client in clients:
+        client.host.spawn(load(client), name=f"load-{client.host.name}")
+    cluster.sim.run(until=cluster.sim.now + 60_000.0)
+    detector.stop()
+    injector.heal_all()
+    return cluster, detector
+
+
+def test_fixed_slo_convicts_slow_disk_master_as_gray():
+    """The failure mode the adaptive SLO exists for: with a fixed probe
+    SLO, a master merely *starved* by its backup's 10×-degraded disk
+    misses the deadline and gets convicted gray — a false positive
+    that burns a standby on a host whose data path still works."""
+    _cluster, detector = _slow_disk_run(adaptive=False)
+    assert detector.gray_detected >= 1
+    assert any(kind == "gray-master" for _t, kind, _x in detector.detections)
+
+
+def test_adaptive_slo_rides_through_slow_disk():
+    """ISSUE 9 regression: with ``adaptive_probe_slo`` the same 10×
+    slow-disk plan raises m0's own probe SLO from its answered-probe
+    latency EWMA — no gray conviction, no detection, the standby pool
+    untouched — while the misses counter shows pings stayed healthy."""
+    cluster, detector = _slow_disk_run(adaptive=True)
+    assert detector.gray_detected == 0
+    assert detector.detections == []
+    assert len(detector.standby_hosts) == 1      # standby never popped
+    assert detector._misses.get("m0", 0) == 0
+    # The EWMA visibly adapted past the base SLO: the probes really
+    # were slow, the detector just judged them against the right bar.
+    host = cluster.coordinator.masters["m0"].host
+    assert detector._probe_ewma[host] > detector.data_probe_slo
+
+
+def test_flap_damping_backs_off_repeat_convictions():
+    """ISSUE 9 regression: under a HostFlap plan (m0's host bouncing
+    every 3 ms with no standby to recover onto) the undamped watchdog
+    convicts on every flap; with ``flap_damping`` the exponentially
+    growing re-arm delay swallows most repeats."""
+    def run(damping: bool):
+        cluster = detector_cluster()
+        detector = make_detector(cluster, [], miss_threshold=2,
+                                 flap_damping=damping)
+        detector.start()
+        host = cluster.coordinator.masters["m0"].host
+        events = tuple(HostFlap(host=host, start=1_000.0 + 3_000.0 * i,
+                                end=2_600.0 + 3_000.0 * i)
+                       for i in range(12))
+        injector = cluster.inject_faults(FaultPlan(events=events, seed=3))
+        injector.start()
+        cluster.sim.run(until=cluster.sim.now + 40_000.0)
+        detector.stop()
+        injector.heal_all()
+        return detector
+
+    undamped = run(False)
+    damped = run(True)
+    assert len(undamped.detections) == 12        # one per flap
+    assert undamped.flap_suppressed == 0
+    # Damping swallowed most repeats behind the growing delay, but the
+    # host can still be convicted once each delay expires — damping
+    # slows the watchdog down, it never blinds it.
+    assert 1 <= len(damped.detections) < len(undamped.detections) // 2
+    assert damped.flap_suppressed > 0
+    assert damped._convictions[damped.coordinator.masters["m0"].host] \
+        == len(damped.detections)
 
 
 def test_stop_halts_pinging():

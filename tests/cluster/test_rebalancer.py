@@ -205,6 +205,64 @@ def test_rebalancer_is_idle_on_balanced_cluster():
         == [tuple(cluster.shard_map.tablets()[0][:2])]
 
 
+def test_cooling_merge_shrinks_cold_masters_ownership():
+    """ISSUE 9 satellite: once load decays, a fragmented master's
+    adjacent tablets are coalesced on balanced rounds — the ownership
+    list shrinks — while a master still seeing traffic keeps its fine
+    tablets."""
+    cluster = sharded_cluster(n_masters=2)
+    client = cluster.new_client()
+    coordinator = cluster.coordinator
+    rebalancer = Rebalancer(coordinator, threshold=5.0, min_ops=200,
+                            cooling_max_ops=10)
+    lo, hi = coordinator.masters["m0"].owned_ranges[0]
+    cut1 = lo + (hi - lo) // 3
+    cut2 = lo + 2 * (hi - lo) // 3
+
+    def fragment():
+        yield from coordinator.split_tablet("m0", lo, hi, cut1)
+        yield from coordinator.split_tablet("m0", cut1, hi, cut2)
+    cluster.run(cluster.sim.process(fragment()), timeout=1_000_000.0)
+    assert len(coordinator.masters["m0"].owned_ranges) == 3
+
+    # While m0 still sees traffic above cooling_max_ops the pass leaves
+    # its tablets alone (the next split plan wants them fine-grained).
+    m0_keys = keys_for(cluster, "m0", 4)
+    def warm_load():
+        for round_number in range(4):
+            for key in m0_keys:
+                yield from client.update(Write(key, round_number))
+    cluster.run(client.host.spawn(warm_load(), name="warm"),
+                timeout=10_000_000.0)
+    cluster.run(cluster.sim.process(rebalancer.rebalance_once()),
+                timeout=1_000_000.0)
+    assert len(coordinator.masters["m0"].owned_ranges) == 3
+    assert rebalancer.stats.cooling_merges == 0
+
+    # After the load decays (the report window reset above, nothing
+    # since) the next balanced round coalesces m0 back to one tablet.
+    cluster.run(cluster.sim.process(rebalancer.rebalance_once()),
+                timeout=1_000_000.0)
+    assert len(coordinator.masters["m0"].owned_ranges) == 1
+    assert rebalancer.stats.cooling_merges == 1
+    assert cluster.shard_map.covers_full_range()
+    for key in m0_keys:
+        assert cluster.run(client.read(key), timeout=1_000_000.0) == 3
+
+
+def test_cooling_merge_skips_single_tablet_masters_without_rpcs():
+    """A stable cluster pays nothing: with every master on one tablet
+    the cooling pass issues no merge RPCs at all."""
+    cluster = sharded_cluster(n_masters=2)
+    rebalancer = Rebalancer(cluster.coordinator, min_ops=100)
+    sent_before = cluster.network.stats.messages_sent
+    cluster.run(cluster.sim.process(rebalancer.rebalance_once()),
+                timeout=1_000_000.0)
+    # Exactly one load_report round trip per master, nothing more.
+    assert cluster.network.stats.messages_sent == sent_before + 4
+    assert rebalancer.stats.cooling_merges == 0
+
+
 def test_rebalancer_interval_zero_never_spawns():
     cluster = sharded_cluster(n_masters=2)
     rebalancer = Rebalancer(cluster.coordinator, interval=0.0)

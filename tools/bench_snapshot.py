@@ -50,7 +50,13 @@ Measures, in wall-clock terms:
   ``benchmarks/bench_availability.py`` scored by the watchdog +
   availability tracker — ``availability.unavailability_window``
   (virtual µs the kill-master scenario spends below 50% of baseline
-  goodput) is CI-gated lower-is-better.
+  goodput) is CI-gated lower-is-better;
+- a ``parallel_sim`` series (ISSUE 9): conservative-PDES scaling of
+  the partitioned scheduler on a 4-shard open-loop workload at
+  P ∈ {1, 2, 4}, from ``benchmarks/bench_parallel_sim.py`` —
+  ``parallel_sim.speedup_4p`` (serial busy CPU over the 4-partition
+  critical path; CPU-time based so single-core CI runners measure the
+  decomposition, not their own context switching) is CI-gated.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -285,6 +291,30 @@ def _availability() -> dict:
     }
 
 
+def _parallel_sim() -> dict:
+    """PDES scaling series (ISSUE 9 acceptance numbers).  The speedups
+    are ratios of busy CPU time — per-worker ``time.process_time`` —
+    so they hold on single-core runners where wall clock cannot."""
+    from benchmarks.bench_parallel_sim import parallel_sim_scaling
+
+    started = time.perf_counter()
+    result = parallel_sim_scaling()
+    series = result["series"]
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "backend": result["backend"],
+        "speedup_2p": result["speedup_2p"],
+        "speedup_4p": result["speedup_4p"],
+        "serial_busy_seconds": series[1]["total_busy"],
+        "critical_path_4p_seconds": series[4]["critical_path"],
+        "windows_4p": series[4]["windows"],
+        "completed_by_partitions": {
+            str(n): point["completed"] for n, point in series.items()},
+        "wall_seconds_by_partitions": {
+            str(n): point["wall_seconds"] for n, point in series.items()},
+    }
+
+
 def _curp_op_path(scale: float) -> dict:
     """Committed-ops/s through the full operation lifecycle (ISSUE 3
     acceptance series), from benchmarks/bench_curp_op_path.py."""
@@ -350,6 +380,7 @@ def snapshot(scale: float = 1.0) -> dict:
         "overload": _overload(scale),
         "recovery": _recovery(),
         "availability": _availability(),
+        "parallel_sim": _parallel_sim(),
     }
 
 
