@@ -469,11 +469,12 @@ class Coordinator:
                 raise RecoveryFailed("no backup reachable for the "
                                      "segment index")
             log_end = max((info.last_index for info in index), default=0)
+            log_entries = sum(info.entry_count for info in index)
             # 4. Plan the partitions and read the stripes.
             partitions = plan_partitions(managed.owned_ranges,
                                          len(targets), requests)
             entry_buckets = yield from self._read_stripes(
-                reachable, log_end, partitions, rpc_timeout)
+                reachable, log_end, log_entries, partitions, rpc_timeout)
             # 5. Absorb in parallel; bookkeeping cuts over per
             # partition as each ack lands.
             outcomes: dict[int, typing.Any] = {}
@@ -515,8 +516,29 @@ class Coordinator:
             if master_id in self.masters:
                 managed.recovering = False
 
+    def _recovery_read_deadline(self, est_entries: int,
+                                rpc_timeout: float) -> float:
+        """Deadline for one recovery stripe read, derived from the
+        backup's modeled disk service time (docs/STORAGE.md caveat).
+
+        A stripe reply is gated on the disk draining the scan; with a
+        slow ``read_entry_time`` that can exceed a fixed ``rpc_timeout``
+        and the retry then *re-charges* the disk — each retry queues
+        behind the previous scan and times out even harder (a retry
+        storm that reads every stripe many times over).  So the
+        deadline budgets the worst-case scan — every log entry, since
+        a stripe may overlap all segments — doubled for disk time the
+        scan queues behind (appends, the cleaner, a retried sibling
+        stripe), floored at ``rpc_timeout`` for the pure network
+        round-trip.  Purely a timeout bound: no extra rng, no effect
+        when storage is disabled."""
+        storage = self.config.storage
+        if not storage.enabled or est_entries <= 0:
+            return rpc_timeout
+        return rpc_timeout + 2.0 * est_entries * storage.read_entry_time
+
     def _read_stripes(self, reachable: list[str], log_end: int,
-                      partitions, rpc_timeout: float):
+                      log_entries: int, partitions, rpc_timeout: float):
         """Generator: read the dead master's log once across the
         backup set — each backup scans one index stripe, bucketing for
         every partition — retrying failed stripes on surviving backups.
@@ -524,6 +546,8 @@ class Coordinator:
         buckets: list[list] = [[] for _ in partitions]
         if log_end == 0 or not partitions:
             return buckets
+        read_deadline = self._recovery_read_deadline(log_entries,
+                                                     rpc_timeout)
         ranges = tuple(p.ranges for p in partitions)
         pool = list(reachable)
         count = len(pool)
@@ -542,7 +566,7 @@ class Coordinator:
                 backup = pool[i % len(pool)]
                 assignment[window] = backup
                 readers.append(self.sim.process(self._read_one_stripe(
-                    backup, window, ranges, rpc_timeout, outcomes)))
+                    backup, window, ranges, read_deadline, outcomes)))
             yield AllOf(self.sim, readers)
             failed = []
             dead = set()
@@ -559,14 +583,14 @@ class Coordinator:
         return buckets
 
     def _read_one_stripe(self, backup: str, window: tuple[int, int],
-                         ranges, rpc_timeout: float, outcomes: dict):
+                         ranges, deadline: float, outcomes: dict):
         """Process body: one stripe read; failure leaves no outcome."""
         try:
             outcomes[window] = yield self.transport.call(
                 backup, "read_partitions",
                 PartitionReadArgs(index_lo=window[0], index_hi=window[1],
                                   partitions=ranges),
-                timeout=rpc_timeout)
+                timeout=deadline)
         except RpcError:
             pass
 

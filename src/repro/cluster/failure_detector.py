@@ -165,6 +165,11 @@ class FailureDetector:
         self._convictions: dict[str, int] = {}
         #: host → sim time before which re-conviction is suppressed
         self._rearm_at: dict[str, float] = {}
+        #: host name → pool kind ("master" | "witness" | "backup"):
+        #: hosts a completed repair replaced away.  The reclaim pass
+        #: pings them; one that answers again (rebooted, healed) goes
+        #: back into its pool instead of being leaked forever.
+        self._retired: dict[str, str] = {}
         self._running = False
         # -- counters and timelines -------------------------------------
         self.recoveries_started = 0
@@ -175,10 +180,21 @@ class FailureDetector:
         self.gray_detected = 0
         #: convictions swallowed by flap damping's re-arm delay
         self.flap_suppressed = 0
+        #: repairs skipped because the needed standby pool was empty —
+        #: the previously silent depletion failure mode.  Each skip
+        #: also lands a "standbys-exhausted" warning in the timeline.
+        self.standbys_exhausted = 0
+        #: replaced-away hosts returned to a pool by the reclaim pass
+        self.standbys_reclaimed = 0
         #: (virtual time, kind, target) — kind in {"master",
         #: "witness", "backup", "gray-witness", "gray-master"}
         self.detections: list[tuple[float, str, str]] = []
         self.repairs: list[tuple[float, str, str]] = []
+        #: (virtual time, "standbys-exhausted", "<kind>:<target>") —
+        #: kept separate from :attr:`detections` so availability
+        #: metrics (which treat every detection as an outage edge)
+        #: keep their meaning
+        self.warnings: list[tuple[float, str, str]] = []
 
     def start(self) -> None:
         if self._running:
@@ -204,6 +220,8 @@ class FailureDetector:
                 yield from self._check_witnesses()
             if self.watch_backups:
                 yield from self._check_backups()
+            if self._retired:
+                yield from self._reclaim_standbys()
 
     def _check_masters(self):
         for master_id, managed in list(self.coordinator.masters.items()):
@@ -227,11 +245,15 @@ class FailureDetector:
     def _start_recovery(self, master_id: str,
                         unquarantine: str | None = None) -> None:
         if not self.standby_hosts:
+            self._note_exhausted("master", master_id)
             return  # nowhere to recover to
+        managed = self.coordinator.masters.get(master_id)
+        dead_host = managed.host if managed is not None else None
         standby = self.standby_hosts.pop(0)
         self.recoveries_started += 1
         self.coordinator.host.spawn(
-            self._supervised_recovery(master_id, standby, unquarantine),
+            self._supervised_recovery(master_id, standby, unquarantine,
+                                      dead_host),
             name=f"recover-{master_id}")
 
     def _probe_master(self, master_id: str, managed):
@@ -268,7 +290,8 @@ class FailureDetector:
             >= self.gray_threshold
 
     def _supervised_recovery(self, master_id: str, standby: "Host",
-                             unquarantine: str | None = None):
+                             unquarantine: str | None = None,
+                             dead_host: str | None = None):
         """Run one recovery attempt; on failure, return the standby to
         the pool and re-arm suspicion so the next interval retries."""
         try:
@@ -287,6 +310,10 @@ class FailureDetector:
         else:
             self.recoveries_completed += 1
             self.repairs.append((self.sim.now, "master", master_id))
+            if dead_host is not None:
+                # The abandoned host is a reclaim candidate: if it
+                # ever answers pings again, it rejoins the pool.
+                self._retired[dead_host] = "master"
 
     # ------------------------------------------------------------------
     # witnesses: silence AND gray detection
@@ -428,6 +455,7 @@ class FailureDetector:
                     or (master_id, dead) in self._replacing:
                 continue
             if not self.witness_standbys:
+                self._note_exhausted("witness", f"{master_id}:{dead}")
                 continue  # nowhere to replace to; retry next conviction
             standby = self.witness_standbys.pop(0)
             self._replacing.add((master_id, dead))
@@ -445,6 +473,7 @@ class FailureDetector:
             self.witnesses_replaced += 1
             self.repairs.append(
                 (self.sim.now, "witness", f"{master_id}:{standby.name}"))
+            self._retired[dead] = "witness"
         finally:
             self._replacing.discard((master_id, dead))
 
@@ -472,6 +501,7 @@ class FailureDetector:
                 self._note_conviction(backup)
                 self.detections.append((self.sim.now, "backup", backup))
                 if not self.backup_standbys:
+                    self._note_exhausted("backup", f"{master_id}:{backup}")
                     continue
                 standby = self.backup_standbys.pop(0)
                 self._replacing.add((master_id, backup))
@@ -489,8 +519,41 @@ class FailureDetector:
             self.backups_replaced += 1
             self.repairs.append(
                 (self.sim.now, "backup", f"{master_id}:{standby.name}"))
+            self._retired[dead] = "backup"
         finally:
             self._replacing.discard((master_id, dead))
+
+    # ------------------------------------------------------------------
+    # standby pool replenishment
+    # ------------------------------------------------------------------
+    def _note_exhausted(self, kind: str, target: str) -> None:
+        """A repair was skipped for lack of a standby: count it and
+        put a visible warning on the timeline instead of depleting
+        silently (the ROADMAP replenishment item)."""
+        self.standbys_exhausted += 1
+        self.warnings.append(
+            (self.sim.now, "standbys-exhausted", f"{kind}:{target}"))
+
+    def _reclaim_standbys(self):
+        """Ping replaced-away hosts; one that answers again (rebooted,
+        partition healed) rejoins its standby pool.  Quarantined gray
+        hosts are never auto-trusted back."""
+        pools = {"master": self.standby_hosts,
+                 "witness": self.witness_standbys,
+                 "backup": self.backup_standbys}
+        for name, kind in list(self._retired.items()):
+            if name in self.quarantined:
+                continue
+            alive = yield from self._ping(name)
+            if not alive:
+                continue
+            del self._retired[name]
+            host = self.coordinator.network.hosts.get(name)
+            if host is None:
+                continue
+            pools[kind].append(host)
+            self.standbys_reclaimed += 1
+            self.repairs.append((self.sim.now, "standby-reclaimed", name))
 
     # ------------------------------------------------------------------
     # flap damping

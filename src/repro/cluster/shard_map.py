@@ -66,6 +66,25 @@ class ShardMap:
     def master_for_key(self, key: str | bytes) -> str | None:
         return self.master_for_hash(key_hash(key))
 
+    def group_keys(self, keys: typing.Iterable[str]) \
+            -> dict[str, tuple[str, ...]]:
+        """Partition ``keys`` by owning master (cross-shard fan-out).
+
+        Returns ``{master_id: (keys...)}`` preserving each key's first-
+        seen order within its group, so a transaction's per-shard slices
+        are deterministic.  Raises :class:`KeyError` for a key routing
+        to no master (a coverage gap mid-migration) — the caller must
+        refresh its view and regroup rather than silently drop a key.
+        """
+        groups: dict[str, list[str]] = {}
+        for key in keys:
+            owner = self.master_for_hash(key_hash(key))
+            if owner is None:
+                raise KeyError(f"key {key!r} routes to no master "
+                               f"(map version {self.version})")
+            groups.setdefault(owner, []).append(key)
+        return {owner: tuple(ks) for owner, ks in groups.items()}
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

@@ -156,15 +156,38 @@ class CurpClient:
         master_id = masters.pop()
         return self.view.masters[master_id]
 
+    def group_by_shard(self, keys: typing.Iterable[str]) \
+            -> dict[str, tuple[str, ...]]:
+        """Partition keys by owning master under the current view
+        (the cross-shard transaction fan-out, §B.2).  Raises KeyError
+        for an unrouteable key — callers refresh the view and regroup."""
+        assert self.view is not None, "client not connected"
+        if self.view.shard_map is not None:
+            return self.view.shard_map.group_keys(keys)
+        groups: dict[str, list[str]] = {}
+        for key in keys:
+            owner = self.view.master_for_hash(key_hash(key))
+            if owner is None:
+                raise KeyError(f"key {key!r} routes to no master")
+            groups.setdefault(owner, []).append(key)
+        return {owner: tuple(ks) for owner, ks in groups.items()}
+
     # ------------------------------------------------------------------
     # update
     # ------------------------------------------------------------------
-    def update(self, op: Operation):
-        """Generator: perform a linearizable update; returns UpdateOutcome."""
+    def update(self, op: Operation, rpc_id=None):
+        """Generator: perform a linearizable update; returns UpdateOutcome.
+
+        ``rpc_id`` is normally allocated here; a cross-shard transaction
+        passes ids pre-allocated by ``tracker.new_transaction`` so every
+        participant shard's prepare is pinned to the same attempt (RIFL
+        makes the per-shard retries exactly-once either way).
+        """
         if not op.is_update:
             raise ValueError("use read() for read operations")
         assert self.tracker is not None, "client not connected"
-        rpc_id = self.tracker.new_rpc()
+        if rpc_id is None:
+            rpc_id = self.tracker.new_rpc()
         started = self.sim.now
         last_error: Exception | None = None
         pushback_streak = 0

@@ -41,12 +41,18 @@ from repro.core.messages import (
     ReadArgs,
     RecordedRequest,
     RETRY_LATER,
+    TxnResolveArgs,
     UpdateArgs,
     UpdateReply,
 )
 from repro.kvstore.backup import ReplicateArgs
 from repro.kvstore.hashing import key_hash
-from repro.kvstore.operations import Operation, Read
+from repro.kvstore.operations import (
+    Operation,
+    Read,
+    TxnCompensate,
+    TxnPrepare,
+)
 from repro.kvstore.store import KVStore
 from repro.rifl import DuplicateState, ResultRegistry
 from repro.rpc import AppError, RpcError, RpcTimeout, RpcTransport
@@ -101,6 +107,12 @@ class MasterStats:
     tablet_ops: dict = dataclasses.field(default_factory=dict)
     #: load-report windows served to the coordinator's rebalancer
     load_reports: int = 0
+    #: cross-shard transaction slices prepared OK (§B.2 saga prepare)
+    txns_prepared: int = 0
+    #: compensation operations executed (saga unwind of an aborted txn)
+    txns_compensated: int = 0
+    #: txn_resolve notifications that cleared pending-txn bookkeeping
+    txns_resolved: int = 0
 
 
 class CurpMaster:
@@ -176,6 +188,7 @@ class CurpMaster:
         self.transport.register("merge_ranges", self._handle_merge_ranges)
         self.transport.register("ping", lambda args, ctx: "PONG")
         self.transport.register("depose", self._handle_depose)
+        self.transport.register("txn_resolve", self._handle_txn_resolve)
         host.on_crash(self._on_crash)
 
         if lease_server is not None and config.lease_check_interval > 0:
@@ -286,6 +299,7 @@ class CurpMaster:
             assert entry is not None
             self.registry.record(rpc_id, result, log_position=entry.index)
             self.stats.updates += 1
+            self._note_txn_op(op, result)
 
             if mode is ReplicationMode.UNREPLICATED:
                 self.synced_position = self.store.log.end
@@ -381,6 +395,7 @@ class CurpMaster:
             assert entry is not None
             self.registry.record(rpc_id, result, log_position=entry.index)
             self.stats.updates += 1
+            self._note_txn_op(op, result)
 
             if mode is ReplicationMode.UNREPLICATED:
                 self.synced_position = self.store.log.end
@@ -582,6 +597,29 @@ class CurpMaster:
             ctx.reply("SYNCED")
         else:
             self._reply_failure(event, ctx)
+
+    # ------------------------------------------------------------------
+    # cross-shard transactions (§B.2)
+    # ------------------------------------------------------------------
+    def _handle_txn_resolve(self, args: TxnResolveArgs, ctx):
+        """Fire-and-forget commit notification: the client's cross-shard
+        transaction committed on every shard, so this shard's pending
+        bookkeeping can go.  Deliberately no serviceability check — the
+        map is advisory (the client carries the undo data), so clearing
+        it is harmless in any master state, and a lost notification
+        merely leaves a stale entry behind."""
+        if self.store.resolve_txn(args.txn_id):
+            self.stats.txns_resolved += 1
+        return "OK"
+
+    def _note_txn_op(self, op: Operation, result) -> None:
+        """Count saga prepares/compensations (two cheap isinstance
+        checks per update; no events, golden traces unchanged)."""
+        if isinstance(op, TxnPrepare):
+            if result[0] == "OK":
+                self.stats.txns_prepared += 1
+        elif isinstance(op, TxnCompensate):
+            self.stats.txns_compensated += 1
 
     # ------------------------------------------------------------------
     # sync machinery

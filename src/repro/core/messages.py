@@ -93,6 +93,17 @@ class GcBatchArgs:
 
 
 @dataclasses.dataclass(frozen=True)
+class TxnResolveArgs:
+    """Client → master, fire-and-forget: a cross-shard transaction
+    (§B.2) committed on every participant, so the shard's pending-txn
+    bookkeeping for it can be dropped.  Purely advisory — the client
+    carries the undo data, so a lost or duplicated notification is
+    harmless."""
+
+    txn_id: typing.Any
+
+
+@dataclasses.dataclass(frozen=True)
 class ProbeArgs:
     """Reader client → witness: do these key hashes commute with every
     saved request? (§A.1 consistent reads from backups)."""

@@ -54,6 +54,7 @@ from repro.core.messages import (
     StartArgs,
 )
 from repro.core.witness_cache import WitnessCache
+from repro.kvstore.operations import is_transactional
 from repro.rpc import AppError, RpcTransport
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -130,6 +131,10 @@ class WitnessServer:
         self.records_processed = 0
         self.gcs_processed = 0
         self.gc_batches_processed = 0
+        #: accepted records carrying cross-shard saga operations
+        #: (TxnPrepare / TxnCompensate, §B.2) — these occupy slots and
+        #: replay on recovery exactly like any other update record
+        self.txn_records = 0
         # Witnesses are lightweight and can share a host (and its RPC
         # endpoint) with a backup — Figure 2's colocated deployment.
         self.transport = transport or RpcTransport(host)
@@ -185,6 +190,9 @@ class WitnessServer:
             # a slot the owning master's gc cycle can no longer reach.
             return RECORD_REJECTED
         accepted = self.cache.record(args.key_hashes, args.rpc_id, args.request)
+        if accepted and args.request is not None \
+                and is_transactional(args.request.op):
+            self.txn_records += 1
         return RECORD_ACCEPTED if accepted else RECORD_REJECTED
 
     def _handle_probe(self, args: ProbeArgs, ctx):

@@ -26,8 +26,11 @@ from repro.kvstore.operations import (
     MultiWrite,
     Operation,
     Read,
+    TxnCompensate,
+    TxnPrepare,
     Write,
     commutative,
+    is_transactional,
 )
 from repro.kvstore.log import Log, LogEntry
 from repro.kvstore.store import KVStore, StoredObject
@@ -57,7 +60,10 @@ __all__ = [
     "Operation",
     "Read",
     "StoredObject",
+    "TxnCompensate",
+    "TxnPrepare",
     "Write",
     "commutative",
+    "is_transactional",
     "key_hash",
 ]

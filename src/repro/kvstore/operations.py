@@ -169,6 +169,67 @@ class ConditionalMultiWrite(Operation):
         return tuple(key_hash(k) for k in self.touched_keys())
 
 
+@dataclasses.dataclass(frozen=True)
+class TxnPrepare(ConditionalMultiWrite):
+    """One shard's slice of a cross-shard transaction (§B.2).
+
+    Semantically a :class:`ConditionalMultiWrite` tagged with the
+    transaction id, with one extra contract: on success the result
+    carries *undo records* — ``(key, old_value, old_version,
+    new_version)`` per written key — so the **client** holds everything
+    needed to compensate a partially-prepared transaction even if every
+    participant master crashes and loses its bookkeeping.  Witnesses
+    treat it exactly like any other multi-object update (a slot per
+    touched key), which is what makes the cross-shard fast path a
+    per-shard commutativity check.
+    """
+
+    txn_id: typing.Any = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.txn_id is None:
+            raise ValueError("TxnPrepare requires a txn_id")
+
+
+@dataclasses.dataclass(frozen=True)
+class TxnCompensate(Operation):
+    """Saga compensation: undo one shard's prepared-but-aborted slice.
+
+    ``items`` are the undo records a successful :class:`TxnPrepare`
+    returned.  Each key is restored to ``old_value`` *only if* its
+    current version still equals ``prepared_version`` — a key whose
+    version moved past the prepare was overwritten by a later committed
+    operation and is left alone (compensation must never clobber newer
+    writes).  Restoring bumps the version (versions are monotonic);
+    a key that did not exist before the prepare (``old_version == 0``)
+    is deleted.  Idempotent: a retried compensation finds the versions
+    already moved and skips every item.
+    """
+
+    txn_id: typing.Any
+    #: (key, old_value, old_version, prepared_version) undo records
+    items: tuple[tuple[str, typing.Any, int, int], ...]
+
+    def __post_init__(self) -> None:
+        keys = [k for k, _v, _ov, _pv in self.items]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate keys in TxnCompensate: {keys}")
+        if not keys:
+            raise ValueError("empty TxnCompensate")
+
+    def read_keys(self) -> tuple[str, ...]:
+        return tuple(k for k, _v, _ov, _pv in self.items)
+
+    def mutated_keys(self) -> tuple[str, ...]:
+        return tuple(k for k, _v, _ov, _pv in self.items)
+
+
+def is_transactional(op: Operation) -> bool:
+    """True for the cross-shard saga operations (prepare/compensate)."""
+    return isinstance(op, (TxnPrepare, TxnCompensate))
+
+
 def commutative(a: Operation, b: Operation) -> bool:
     """Do two operations commute? Disjoint touched-key sets (paper §4).
 

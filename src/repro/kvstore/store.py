@@ -25,6 +25,8 @@ from repro.kvstore.operations import (
     MultiWrite,
     Operation,
     Read,
+    TxnCompensate,
+    TxnPrepare,
     Write,
 )
 
@@ -54,6 +56,19 @@ class KVStore:
         self._version_floor = 0
         #: highest version ever issued (drives the recovery floor)
         self.max_version_seen = 0
+        #: txn_id → undo records of prepared-but-unresolved cross-shard
+        #: transaction slices (§B.2).  Advisory bookkeeping only: the
+        #: *client* carries the undo data in the prepare result, so a
+        #: master that crashes and forgets this map loses nothing —
+        #: compensation and resolution both tolerate a missing entry.
+        self.pending_txns: dict[typing.Any, tuple] = {}
+        #: key → (txn_id, prepared_version) while a prepare's write is
+        #: the key's *current* value.  CAS-family operations from other
+        #: transactions refuse to validate against such a version — a
+        #: commit built on it would bake an aborted transaction's value
+        #: into committed state when the compensation later skips the
+        #: key as SUPERSEDED (the saga dirty-read anomaly).
+        self._pending_keys: dict[str, tuple[typing.Any, int]] = {}
 
     # ------------------------------------------------------------------
     # execution
@@ -77,7 +92,10 @@ class KVStore:
             result = new_value
         elif isinstance(op, ConditionalWrite):
             current_version = self.version(op.key)
-            if current_version != op.expected_version:
+            if self._pending_conflicts(((op.key, None, None),)):
+                effects = ()
+                result = ("MISMATCH", current_version)
+            elif current_version != op.expected_version:
                 # Rejected CAS: no effects, but still logged so the RIFL
                 # completion record is durable.
                 effects = ()
@@ -95,11 +113,56 @@ class KVStore:
             effects = tuple((key, value, self._bump(key))
                             for key, value in op.items)
             result = tuple(self._versions[key] for key, _ in op.items)
+        elif isinstance(op, TxnPrepare):
+            mismatches = tuple(
+                (key, self.version(key))
+                for key, _value, expected in op.items
+                if self.version(key) != expected)
+            mismatches += self._pending_conflicts(op.items, op.txn_id)
+            if mismatches:
+                effects = ()
+                result = ("MISMATCH", mismatches)
+            else:
+                undo = []
+                effect_list = []
+                for key, value, _expected in op.items:
+                    if value is KEEP:
+                        continue
+                    old_value = self.read(key)
+                    old_version = self.version(key)
+                    new_version = self._bump(key)
+                    effect_list.append((key, value, new_version))
+                    undo.append((key, old_value, old_version, new_version))
+                effects = tuple(effect_list)
+                undo = tuple(undo)
+                self.pending_txns[op.txn_id] = undo
+                for key, _old, _old_version, new_version in undo:
+                    self._pending_keys[key] = (op.txn_id, new_version)
+                result = ("OK", undo)
+        elif isinstance(op, TxnCompensate):
+            effect_list = []
+            disposition = []
+            for key, old_value, old_version, prepared in op.items:
+                marker = self._pending_keys.get(key)
+                if marker is not None and marker[0] == op.txn_id:
+                    del self._pending_keys[key]
+                if self.version(key) != prepared:
+                    # A later committed write superseded the prepared
+                    # value: leave it (compensation never clobbers).
+                    disposition.append((key, "SUPERSEDED"))
+                    continue
+                restored = TOMBSTONE if old_version == 0 else old_value
+                effect_list.append((key, restored, self._bump(key)))
+                disposition.append((key, "UNDONE"))
+            effects = tuple(effect_list)
+            self.pending_txns.pop(op.txn_id, None)
+            result = ("OK", tuple(disposition))
         elif isinstance(op, ConditionalMultiWrite):
             mismatches = tuple(
                 (key, self.version(key))
                 for key, _value, expected in op.items
                 if self.version(key) != expected)
+            mismatches += self._pending_conflicts(op.items)
             if mismatches:
                 effects = ()
                 result = ("MISMATCH", mismatches)
@@ -121,6 +184,40 @@ class KVStore:
         self._versions[key] = new_version
         self.max_version_seen = max(self.max_version_seen, new_version)
         return new_version
+
+    def _pending_conflicts(self, items, txn_id: typing.Any = None) \
+            -> tuple[tuple[str, int], ...]:
+        """Keys in ``items`` whose current version was written by a
+        prepared-but-unresolved *other* transaction.  A stale marker
+        (the prepared value already superseded by a committed write) is
+        not a conflict — validating against the newer version is safe,
+        and this is what un-wedges a key whose ``txn_resolve`` was
+        lost."""
+        if not self._pending_keys:
+            return ()
+        conflicts = []
+        for key, _value, _expected in items:
+            marker = self._pending_keys.get(key)
+            if marker is None:
+                continue
+            owner, prepared_version = marker
+            if owner != txn_id and self.version(key) == prepared_version:
+                conflicts.append((key, prepared_version))
+        return tuple(conflicts)
+
+    def resolve_txn(self, txn_id: typing.Any) -> bool:
+        """Drop the pending bookkeeping for a committed cross-shard
+        transaction (the client's fire-and-forget ``txn_resolve``).
+        Tolerates an unknown id — a recovered master never rebuilds the
+        map, and resolution is purely advisory."""
+        undo = self.pending_txns.pop(txn_id, None)
+        if undo is None:
+            return False
+        for key, _old, _old_version, _new_version in undo:
+            marker = self._pending_keys.get(key)
+            if marker is not None and marker[0] == txn_id:
+                del self._pending_keys[key]
+        return True
 
     def raise_version_floor(self, floor: int) -> None:
         """All future versions exceed ``floor``.

@@ -18,7 +18,7 @@ CURP-specific modifications (paper §4.8), both implemented here:
    silently ignored) — enforced by the master's lease-expiry hook.
 """
 
-from repro.rifl.ids import RpcId
+from repro.rifl.ids import RpcId, TxnId
 from repro.rifl.lease import LeaseServer
 from repro.rifl.client_tracker import RiflClientTracker
 from repro.rifl.result_registry import CompletionRecord, DuplicateState, ResultRegistry
@@ -30,4 +30,5 @@ __all__ = [
     "ResultRegistry",
     "RiflClientTracker",
     "RpcId",
+    "TxnId",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.rifl.ids import RpcId
+from repro.rifl.ids import RpcId, TxnId
 
 
 class RiflClientTracker:
@@ -24,6 +24,19 @@ class RiflClientTracker:
         self._next_seq += 1
         self._outstanding.add(self._next_seq)
         return RpcId(self.client_id, self._next_seq)
+
+    def new_transaction(self, n: int) -> tuple[TxnId, tuple[RpcId, ...]]:
+        """Allocate ids for one cross-shard transaction attempt (§B.2):
+        a :class:`TxnId` naming the attempt plus ``n`` consecutive
+        RpcIds, one per participant shard's prepare.  All ``n`` RpcIds
+        are outstanding until the per-shard operations complete, so
+        ``first_incomplete`` (and therefore server-side completion-
+        record gc) holds below the transaction until it resolves."""
+        if n < 1:
+            raise ValueError(f"new_transaction requires n >= 1: {n}")
+        rpc_ids = tuple(self.new_rpc() for _ in range(n))
+        txn_id = TxnId(self.client_id, rpc_ids[0].seq)
+        return txn_id, rpc_ids
 
     def completed(self, rpc_id: RpcId) -> None:
         """The RPC's result has been externalized to the application."""

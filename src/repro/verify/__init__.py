@@ -25,14 +25,24 @@ from repro.verify.checker import (
     check_linearizable,
 )
 from repro.verify.instrument import HistoryClient
+from repro.verify.transactions import (
+    AtomicityError,
+    RecordedCrossShardTransaction,
+    TxnTrace,
+    audit_atomicity,
+)
 
 __all__ = [
+    "AtomicityError",
     "CheckerLimitExceeded",
     "CounterModel",
     "History",
     "HistoryClient",
     "LinearizabilityError",
     "OpRecord",
+    "RecordedCrossShardTransaction",
     "RegisterModel",
+    "TxnTrace",
+    "audit_atomicity",
     "check_linearizable",
 ]

@@ -383,3 +383,76 @@ def test_stop_halts_pinging():
     # No pings after stop(): the crash is never even noticed.
     assert detector._misses.get("m0", 0) == 0
     assert detector.recoveries_started == 0
+
+
+# ----------------------------------------------------------------------
+# standby pool replenishment (ROADMAP item; regression for silent
+# permanent depletion)
+# ----------------------------------------------------------------------
+def test_exhausted_pool_is_counted_and_warned():
+    """Regression: a detection with an empty standby pool used to
+    return silently — the pool depleted permanently with no signal.
+    Now every skipped repair is counted and put on the timeline."""
+    cluster = detector_cluster()
+    detector = make_detector(cluster, [])  # empty pool from the start
+    detector.start()
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 10_000.0)
+    detector.stop()
+    assert detector.recoveries_started == 0
+    assert detector.standbys_exhausted >= 1
+    warnings = [d for d in detector.warnings
+                if d[1] == "standbys-exhausted"]
+    assert warnings and warnings[0][2] == "master:m0"
+    # The warning timeline is separate: exhaustion must not masquerade
+    # as an extra failure detection (availability metrics count those).
+    assert all(kind != "standbys-exhausted"
+               for _t, kind, _x in detector.detections)
+
+
+def test_recovered_host_returns_to_standby_pool():
+    """A crashed-then-rebooted master host is reclaimed into the pool
+    after its shard recovered elsewhere — the pool replenishes instead
+    of shrinking monotonically."""
+    cluster = detector_cluster()
+    client = cluster.new_client()
+    cluster.run(client.update(Write("k", "v")))
+    standby = cluster.add_host("repl-standby", role="master")
+    detector = make_detector(cluster, [standby])
+    detector.start()
+
+    dead = cluster.master().host
+    dead.crash()
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    assert detector.recoveries_completed == 1
+    assert detector.standby_hosts == []  # consumed
+    assert dead.name in detector._retired
+
+    # The old host comes back (reboot): the reclaim pass readmits it.
+    dead.restart()
+    cluster.sim.run(until=cluster.sim.now + 5_000.0)
+    assert detector.standbys_reclaimed == 1
+    assert detector.standby_hosts == [dead]
+    assert dead.name not in detector._retired
+    assert any(kind == "standby-reclaimed" and target == dead.name
+               for _t, kind, target in detector.repairs)
+    # And the reclaimed host actually works as a recovery target.
+    cluster.master().host.crash()
+    cluster.sim.run(until=cluster.sim.now + 30_000.0)
+    detector.stop()
+    assert detector.recoveries_completed == 2
+    assert cluster.run(client.read("k"), timeout=1_000_000.0) == "v"
+
+
+def test_reclaim_never_readmits_quarantined_hosts():
+    cluster = detector_cluster()
+    standby = cluster.add_host("q-standby", role="master")
+    detector = make_detector(cluster, [standby])
+    dead = cluster.master().host
+    detector.quarantined.add(dead.name)
+    detector._retired[dead.name] = "master"
+    detector.start()
+    cluster.sim.run(until=cluster.sim.now + 5_000.0)
+    detector.stop()
+    assert detector.standbys_reclaimed == 0
+    assert dead.name in detector._retired

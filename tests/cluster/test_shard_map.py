@@ -283,3 +283,31 @@ def test_stale_shard_map_read_rerouted():
     # with no retry_backoff sleep in between.
     assert cluster.sim.now - started == pytest.approx(12.0)
     assert client.view.master_for_hash(h) == "m1"
+
+
+# ----------------------------------------------------------------------
+# group_keys (cross-shard transaction fan-out, §B.2)
+# ----------------------------------------------------------------------
+def test_group_keys_partitions_by_owner():
+    half = FULL_SPAN // 2
+    shard_map = ShardMap.from_tablets(((0, half, "m0"),
+                                       (half, FULL_SPAN, "m1")))
+    keys = [f"key{i}" for i in range(20)]
+    groups = shard_map.group_keys(keys)
+    assert set(groups) <= {"m0", "m1"}
+    regrouped = [key for shard in groups for key in groups[shard]]
+    assert sorted(regrouped) == sorted(keys)
+    for shard, shard_keys in groups.items():
+        assert all(shard_map.master_for_key(k) == shard
+                   for k in shard_keys)
+        # first-seen order within each group
+        assert list(shard_keys) == [k for k in keys if k in shard_keys]
+
+
+def test_group_keys_raises_on_coverage_gap():
+    half = FULL_SPAN // 2
+    shard_map = ShardMap.from_tablets(((0, half, "m0"),))  # upper half dark
+    dark_key = next(k for k in (f"key{i}" for i in range(1000))
+                    if key_hash(k) >= half)
+    with pytest.raises(KeyError):
+        shard_map.group_keys([dark_key])

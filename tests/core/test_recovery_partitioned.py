@@ -196,6 +196,35 @@ def test_backup_crash_mid_recovery_retries_stripe_on_survivors():
     assert_all_readable(cluster, keys)
 
 
+def test_slow_disk_recovery_reads_each_stripe_once():
+    """Regression (docs/STORAGE.md caveat): a stripe reply gated on a
+    slow disk used to outlive the caller's ``rpc_timeout``; the retry
+    then *re-charged* the disk, snowballing into a storm that read
+    every stripe many times over (or sank recovery outright once the
+    backup pool drained).  The stripe-read deadline is now derived from
+    the modeled disk service time, so a network-sized ``rpc_timeout``
+    far below the scan cost still reads each stripe exactly once."""
+    def total_reads(rpc_timeout):
+        cluster = partitioned_cluster(
+            storage=storage_profile(read_entry_time=50.0))
+        keys = load_master(cluster, "m0", 40, unsynced=2)
+        backups = [cluster.coordinator.backup_servers[name]
+                   for name in cluster.backup_hosts["m0"]]
+        stats = run_recovery(cluster, "m0", ["m1", "m2"],
+                             rpc_timeout=rpc_timeout)
+        assert stats["partitions"] == 2
+        assert_all_readable(cluster, keys)
+        return sum(b.stats.recovery_entries_read for b in backups)
+
+    generous = total_reads(1_000_000.0)
+    assert generous > 0
+    # 500 µs of network budget vs ~thousands of µs of scan per stripe:
+    # the derived deadline must cover the disk, and the entry-read
+    # totals must match the known-good generous-timeout run exactly —
+    # any duplicate stripe read shows up as extra entries.
+    assert total_reads(500.0) == generous
+
+
 def test_concurrent_recovery_attempts_rejected():
     cluster = partitioned_cluster(storage=storage_profile())
     load_master(cluster, "m0", 20)

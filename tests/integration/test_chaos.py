@@ -23,7 +23,13 @@ import os
 import pytest
 
 from repro.cluster import FailureDetector
+from repro.core.client import ClientGaveUp
 from repro.core.config import CurpConfig, ReplicationMode, StorageProfile
+from repro.core.transactions import (
+    TransactionAborted,
+    TransactionInDoubt,
+    _abort_backoff,
+)
 from repro.harness import build_cluster
 from repro.kvstore import Increment, Write
 from repro.net.faults import FaultPlan, GrayHost, GrayLink, HostFlap
@@ -31,6 +37,9 @@ from repro.verify import (
     CounterModel,
     History,
     HistoryClient,
+    RecordedCrossShardTransaction,
+    TxnTrace,
+    audit_atomicity,
     check_linearizable,
 )
 
@@ -313,6 +322,112 @@ def test_chaos_partitioned_recovery_with_storage(seed, fast_completion,
     for key, value in sorted(acked.items()):
         observed = cluster.run(reader.read(key), timeout=10_000_000.0)
         assert observed is not None, f"{key}: acknowledged write lost"
+
+
+@pytest.mark.parametrize("fast_completion, frame_coalescing",
+                         [(False, False), (True, False),
+                          (False, True), (True, True)])
+@pytest.mark.parametrize("seed", chaos_seeds(61))
+def test_chaos_crash_participant_mid_cross_shard_txn(seed, fast_completion,
+                                                     frame_coalescing):
+    """ISSUE 10 storm: clients run cross-shard commutative sagas
+    (§B.2) spanning both shards while the storm crashes a
+    *participant* master mid-transaction and recovers it onto a
+    standby.  Every per-key history must linearize (prepares recorded
+    as writes, compensations as restoring writes, unknown-outcome
+    prepares left pending) and the cross-key atomicity audit must find
+    no torn commit and no aborted residue — in every completion ×
+    framing mode."""
+    cluster = build_chaos_cluster(seed, fast_completion=fast_completion,
+                                  frame_coalescing=frame_coalescing,
+                                  n_masters=2)
+    by_shard = {"m0": [], "m1": []}
+    for i in range(400):
+        key = f"key-{i}"
+        shard = cluster.shard_for(key)
+        if len(by_shard[shard]) < 2:
+            by_shard[shard].append(key)
+        if all(len(keys) == 2 for keys in by_shard.values()):
+            break
+    pairs = [(by_shard["m0"][0], by_shard["m1"][0]),
+             (by_shard["m0"][1], by_shard["m1"][1])]
+    all_keys = [key for pair in pairs for key in pair]
+    history = History()
+    traces = []
+    processes = []
+    for index in range(3):
+        client = cluster.new_client(collect_outcomes=False)
+
+        def txn_script(client=client, index=index):
+            rng = cluster.sim.rng
+            for op_number in range(8):
+                k0, k1 = pairs[rng.randrange(len(pairs))]
+                base = f"t{index}-{op_number}"
+                for attempt in range(40):
+                    txn = RecordedCrossShardTransaction(
+                        client, history, ordered=attempt > 0)
+                    txn.write(k0, f"{base}-a")
+                    txn.write(k1, f"{base}-b")
+                    try:
+                        yield from txn.commit()
+                        traces.append(TxnTrace(txn, "committed"))
+                        break
+                    except TransactionInDoubt:
+                        traces.append(TxnTrace(txn, "unknown"))
+                        break
+                    except ClientGaveUp:
+                        # Gave up during the pre-prepare version reads:
+                        # nothing staged anywhere — a clean abort.
+                        traces.append(TxnTrace(txn, "aborted"))
+                        break
+                    except TransactionAborted:
+                        traces.append(TxnTrace(txn, "aborted"))
+                        yield from _abort_backoff(client, attempt)
+                yield cluster.sim.timeout(rng.uniform(0, 80.0))
+        processes.append(client.host.spawn(txn_script(), name="txn-load"))
+
+    # One plain writer on the same keys: single-key blind writes mix
+    # single- and cross-shard traffic, and supersede any pending marker
+    # a given-up transaction left behind (the self-healing path).
+    plain = HistoryClient(cluster.new_client(collect_outcomes=False),
+                          history)
+
+    def plain_script():
+        rng = cluster.sim.rng
+        for op_number in range(12):
+            key = all_keys[rng.randrange(len(all_keys))]
+            if rng.random() < 0.5:
+                yield from plain.update(Write(key, f"p{op_number}"))
+            else:
+                yield from plain.read(key)
+            yield cluster.sim.timeout(rng.uniform(0, 150.0))
+    processes.append(plain.client.host.spawn(plain_script(), name="load"))
+
+    def storm():
+        rng = cluster.sim.rng
+        yield cluster.sim.timeout(rng.uniform(200.0, 400.0))
+        cluster.master("m0").host.crash()
+        yield cluster.sim.timeout(150.0)
+        standby = cluster.add_host("txn-standby", role="master")
+        yield cluster.sim.process(
+            cluster.coordinator.recover_master("m0", standby))
+
+    storm_process = cluster.sim.process(storm())
+    deadline = cluster.sim.now + 50_000_000.0
+    while not all(p.triggered for p in processes + [storm_process]):
+        if cluster.sim.now > deadline or not cluster.sim.step():
+            break
+    assert all(p.triggered for p in processes), "clients stuck in chaos"
+    assert storm_process.triggered
+    committed = [t for t in traces if t.status == "committed"]
+    assert len(committed) >= 3 * 8 * 0.7, "too few transactions committed"
+    # Post-storm reads pin the final value of every key in the history.
+    for key in all_keys:
+        record = history.begin(0, key, "read", None, cluster.sim.now)
+        value = cluster.run(plain.client.read(key), timeout=10_000_000.0)
+        history.complete(record, value, cluster.sim.now)
+    check_linearizable(history)
+    assert audit_atomicity(traces) == []
 
 
 @pytest.mark.parametrize("fast_completion, frame_coalescing",

@@ -173,3 +173,104 @@ def test_property_rebuild_equals_original(writes):
         assert recovered.read(key) == original.read(key)
         assert recovered.version(key) == original.version(key)
         assert recovered.last_position_of(key) == original.last_position_of(key)
+
+
+# ----------------------------------------------------------------------
+# cross-shard transaction slices (§B.2): TxnPrepare / TxnCompensate
+# ----------------------------------------------------------------------
+def test_txn_prepare_applies_and_returns_undo():
+    from repro.kvstore import KEEP, TxnPrepare
+    store = KVStore()
+    store.execute(Write("a", 1))  # version 1
+    op = TxnPrepare(items=(("a", 10, 1), ("g", KEEP, 0)), txn_id="t1")
+    result, _entry = store.execute(op, now=1.0)
+    assert result[0] == "OK"
+    assert result[1] == (("a", 1, 1, 2),)  # (key, old, old_ver, new_ver)
+    assert store.read("a") == 10
+    assert store.pending_txns == {"t1": result[1]}
+
+
+def test_txn_prepare_requires_txn_id():
+    from repro.kvstore import TxnPrepare
+    with pytest.raises(ValueError):
+        TxnPrepare(items=(("a", 1, 0),))
+
+
+def test_txn_prepare_mismatch_has_no_effects():
+    from repro.kvstore import TxnPrepare
+    store = KVStore()
+    store.execute(Write("a", 1))
+    result, _ = store.execute(TxnPrepare(items=(("a", 10, 99),),
+                                         txn_id="t1"))
+    assert result == ("MISMATCH", (("a", 1),))
+    assert store.read("a") == 1
+    assert store.pending_txns == {}
+
+
+def test_txn_compensate_restores_values_and_tombstones():
+    from repro.kvstore import TxnPrepare, TxnCompensate
+    store = KVStore()
+    store.execute(Write("a", 1))
+    result, _ = store.execute(
+        TxnPrepare(items=(("a", 10, 1), ("fresh", "x", 0)), txn_id="t"))
+    undo = result[1]
+    result, _ = store.execute(TxnCompensate(txn_id="t", items=undo))
+    assert result == ("OK", (("a", "UNDONE"), ("fresh", "UNDONE")))
+    assert store.read("a") == 1
+    assert store.read("fresh") is None  # deleted again, not None-valued
+    # The version counter never rewinds: a re-created key gets a
+    # strictly larger version than the prepared write had.
+    recreate, _ = store.execute(Write("fresh", "again"))
+    assert recreate > 2
+    assert store.pending_txns == {}
+
+
+def test_txn_compensate_skips_superseded_keys():
+    from repro.kvstore import TxnPrepare, TxnCompensate
+    store = KVStore()
+    store.execute(Write("a", 1))
+    result, _ = store.execute(TxnPrepare(items=(("a", 10, 1),),
+                                         txn_id="t"))
+    undo = result[1]
+    store.execute(Write("a", "committed-later"))  # supersedes
+    result, _ = store.execute(TxnCompensate(txn_id="t", items=undo))
+    assert result == ("OK", (("a", "SUPERSEDED"),))
+    assert store.read("a") == "committed-later"  # never clobbered
+
+
+def test_pending_prepare_blocks_foreign_cas():
+    """The saga dirty-read guard: CAS-family ops must not validate
+    against a version created by an unresolved prepare — committing on
+    it would bake an aborted transaction's value into committed state."""
+    from repro.kvstore import ConditionalMultiWrite, TxnPrepare
+    store = KVStore()
+    store.execute(Write("a", 1))
+    store.execute(TxnPrepare(items=(("a", 10, 1),), txn_id="t1"))
+    pending_version = store.version("a")
+    # Foreign CAS against the prepared version: rejected.
+    result, _ = store.execute(
+        ConditionalMultiWrite(items=(("a", 99, pending_version),)))
+    assert result[0] == "MISMATCH"
+    result, _ = store.execute(ConditionalWrite("a", 99, pending_version))
+    assert result[0] == "MISMATCH"
+    result, _ = store.execute(
+        TxnPrepare(items=(("a", 99, pending_version),), txn_id="t2"))
+    assert result[0] == "MISMATCH"
+    # Resolution lifts the guard.
+    assert store.resolve_txn("t1")
+    result, _ = store.execute(
+        ConditionalMultiWrite(items=(("a", 99, pending_version),)))
+    assert result[0] == "OK"
+
+
+def test_stale_pending_marker_is_not_a_conflict():
+    """A blind write superseding the prepared value un-wedges the key
+    even if the txn_resolve notification was lost."""
+    from repro.kvstore import ConditionalMultiWrite, TxnPrepare
+    store = KVStore()
+    store.execute(TxnPrepare(items=(("a", 10, 0),), txn_id="t1"))
+    store.execute(Write("a", "blind"))  # supersedes the prepared value
+    version = store.version("a")
+    result, _ = store.execute(
+        ConditionalMultiWrite(items=(("a", 99, version),)))
+    assert result[0] == "OK"  # marker stale: validating is safe

@@ -191,3 +191,36 @@ def test_stale_never_resurrects(events):
             assert seq not in stale_seen
             if state is DuplicateState.NEW:
                 registry.record(rpc, result=seq)
+
+
+# ----------------------------------------------------------------------
+# transaction-scoped ids (§B.2)
+# ----------------------------------------------------------------------
+def test_new_transaction_allocates_contiguous_rpc_ids():
+    from repro.rifl import TxnId
+    tracker = RiflClientTracker(client_id=7)
+    base = tracker.new_rpc()
+    txn_id, rpc_ids = tracker.new_transaction(3)
+    assert txn_id == TxnId(7, base.seq + 1)
+    assert [r.seq for r in rpc_ids] == [base.seq + 1, base.seq + 2,
+                                        base.seq + 3]
+    assert all(r.client_id == 7 for r in rpc_ids)
+    # Each per-shard prepare is tracked like any other rpc: completing
+    # them advances first_incomplete past the transaction.
+    tracker.completed(base)
+    for rpc_id in rpc_ids:
+        tracker.completed(rpc_id)
+    assert tracker.first_incomplete == base.seq + 4
+
+
+def test_new_transaction_rejects_empty():
+    tracker = RiflClientTracker(client_id=1)
+    with pytest.raises(ValueError):
+        tracker.new_transaction(0)
+
+
+def test_txn_id_is_ordered_and_printable():
+    from repro.rifl import TxnId
+    a, b = TxnId(1, 5), TxnId(1, 9)
+    assert a < b
+    assert "txn:1.5" in str(a)

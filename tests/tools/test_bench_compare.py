@@ -17,7 +17,8 @@ def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
              fig6=170_000, speedup=3.8, fig6_coalesced=170_000,
              messages_per_update=2.3, rebalance_ops=1_300_000,
              overload_goodput=39_900, recovery_time=1_250.0,
-             unavailability=2_000.0, parallel_speedup=2.9) -> dict:
+             unavailability=2_000.0, parallel_speedup=2.9,
+             fast_commit_rate=0.98) -> dict:
     return {
         "event_loop": {"events_per_sec": dispatch,
                        "speedup_vs_legacy": speedup,
@@ -50,6 +51,9 @@ def snapshot(dispatch=6_000_000, records=800_000, rpc=200_000,
         "parallel_sim": {"speedup_4p": parallel_speedup,
                          "speedup_2p": 1.6,
                          "critical_path_4p_seconds": 0.83},
+        "transactions": {"fast_commit_rate": fast_commit_rate,
+                         "commit_p50": 12.0,
+                         "contended_abort_rate": 0.33},
     }
 
 
@@ -117,7 +121,7 @@ def test_missing_gated_metric_fails_the_gate():
     """Schema drift must not silently disable the gate."""
     rows, failures = bench_compare.compare(
         snapshot(), {"event_loop": {}, "witness": {}}, threshold=0.25)
-    assert len(failures) == 12  # every gated metric uncomparable
+    assert len(failures) == 13  # every gated metric uncomparable
     gated = {row["name"]: row for row in rows if row["gated"]}
     assert gated["dispatch events/s"]["status"] == "MISSING"
     assert gated["witness records/s"]["status"] == "MISSING"
@@ -132,6 +136,7 @@ def test_missing_gated_metric_fails_the_gate():
     assert (gated["availability unavailability window (µs)"]["status"]
             == "MISSING")
     assert gated["parallel sim speedup @4p"]["status"] == "MISSING"
+    assert gated["transactions fast-commit rate"]["status"] == "MISSING"
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +299,29 @@ def test_parallel_sim_side_metrics_are_informational():
     candidate = snapshot()
     candidate["parallel_sim"]["speedup_2p"] = 0.9
     candidate["parallel_sim"]["critical_path_4p_seconds"] = 5.0
+    _rows, failures = bench_compare.compare(
+        snapshot(), candidate, threshold=0.25)
+    assert failures == []
+
+
+# ----------------------------------------------------------------------
+# ISSUE 10: the cross-shard 1-RTT commit-rate gate
+# ----------------------------------------------------------------------
+def test_transaction_fast_commit_rate_regression_gates():
+    """A drop in the low-contention 1-RTT commit rate (prepares stopped
+    completing speculatively) fails the gate."""
+    rows, failures = bench_compare.compare(
+        snapshot(), snapshot(fast_commit_rate=0.5), threshold=0.25)
+    assert len(failures) == 1
+    assert "transactions fast-commit rate" in failures[0]
+    gated = {row["name"]: row for row in rows if row["gated"]}
+    assert gated["transactions fast-commit rate"]["status"] == "REGRESSION"
+
+
+def test_transaction_side_metrics_are_informational():
+    candidate = snapshot()
+    candidate["transactions"]["commit_p50"] = 900.0
+    candidate["transactions"]["contended_abort_rate"] = 0.9
     _rows, failures = bench_compare.compare(
         snapshot(), candidate, threshold=0.25)
     assert failures == []

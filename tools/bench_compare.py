@@ -63,6 +63,11 @@ GATED_METRICS = (
     # runners; a drop means the partition decomposition, the window
     # barrier or the cross-partition mailbox got more expensive)
     ("parallel sim speedup @4p", ("parallel_sim", "speedup_4p")),
+    # ISSUE 10: low-contention cross-shard 1-RTT commit rate (virtual
+    # time, deterministic per seed — a drop means prepares stopped
+    # completing speculatively: witness conflicts, sync-path fallback
+    # or the pending-marker guard firing on non-conflicting keys)
+    ("transactions fast-commit rate", ("transactions", "fast_commit_rate")),
 )
 
 #: gated metrics where *lower* is better: the gate fails when the
@@ -123,6 +128,9 @@ INFO_METRICS = (
     ("parallel sim speedup @2p", ("parallel_sim", "speedup_2p")),
     ("parallel sim critical path @4p (s)",
      ("parallel_sim", "critical_path_4p_seconds")),
+    ("transactions commit p50 (µs)", ("transactions", "commit_p50")),
+    ("transactions contended abort rate",
+     ("transactions", "contended_abort_rate")),
 )
 
 

@@ -56,7 +56,13 @@ Measures, in wall-clock terms:
   P ∈ {1, 2, 4}, from ``benchmarks/bench_parallel_sim.py`` —
   ``parallel_sim.speedup_4p`` (serial busy CPU over the 4-partition
   critical path; CPU-time based so single-core CI runners measure the
-  decomposition, not their own context switching) is CI-gated.
+  decomposition, not their own context switching) is CI-gated;
+- a ``transactions`` series (ISSUE 10): cross-shard commutative
+  sagas (§B.2) from ``benchmarks/bench_transactions.py`` — the
+  low-contention 1-RTT fast-commit rate
+  (``transactions.fast_commit_rate``, virtual-time and deterministic
+  per seed; acceptance ≥ 0.90) is CI-gated, plus the contended-ladder
+  abort rate and commit latency percentiles.
 
 CI runs this and uploads the JSON as an artifact; committed snapshots
 mark the trajectory PR by PR (see docs/PERFORMANCE.md).
@@ -315,6 +321,30 @@ def _parallel_sim() -> dict:
     }
 
 
+def _transactions() -> dict:
+    """Cross-shard commutative sagas (ISSUE 10 acceptance series):
+    virtual-time, deterministic per seed.  ``fast_commit_rate`` is the
+    low-contention 1-RTT rate and gates higher-is-better."""
+    from benchmarks.bench_transactions import (
+        contention_series,
+        fast_commit_series,
+    )
+
+    started = time.perf_counter()
+    low = fast_commit_series()
+    hot = contention_series()
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "transactions": low["transactions"],
+        "committed": low["committed"],
+        "fast_commit_rate": round(low["fast_commit_rate"], 3),
+        "commit_p50": round(low["commit_p50"], 2),
+        "commit_p99": round(low["commit_p99"], 2),
+        "contended_abort_rate": round(hot["abort_rate"], 3),
+        "contended_committed": hot["committed"],
+    }
+
+
 def _curp_op_path(scale: float) -> dict:
     """Committed-ops/s through the full operation lifecycle (ISSUE 3
     acceptance series), from benchmarks/bench_curp_op_path.py."""
@@ -381,6 +411,7 @@ def snapshot(scale: float = 1.0) -> dict:
         "recovery": _recovery(),
         "availability": _availability(),
         "parallel_sim": _parallel_sim(),
+        "transactions": _transactions(),
     }
 
 
